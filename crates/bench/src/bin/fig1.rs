@@ -1,0 +1,159 @@
+//! Regenerates **Figure 1** of the paper and the §3 worked example built on
+//! it: the four destination groups, the intersection graphs of the cyclic
+//! families 𝔣 and 𝔣′, the family queries `ℱ(g₂)`, `ℱ(p₁)`, `ℱ(p₅)`, the
+//! faultiness of 𝔣″ when `p₂` fails, and the stabilised outputs of `Σ`, `Ω`
+//! and `γ` under `Correct = {p₁, p₄, p₅}`.
+//!
+//! (The paper names processes `p1..p5`; indices here are 0-based, so the
+//! paper's `p1` is our `p0`, etc. The printed output uses paper naming.)
+//!
+//! Run with: `cargo run -p gam-bench --bin fig1`
+
+use gam_detectors::{GammaOracle, OmegaMode, OmegaOracle, SigmaMode, SigmaOracle};
+use gam_groups::{topology, GroupId, GroupSet};
+use gam_kernel::{FailurePattern, ProcessId, Time};
+use serde::Serialize;
+
+fn paper_name(p: ProcessId) -> String {
+    format!("p{}", p.0 + 1)
+}
+
+fn family_name(f: GroupSet, gs: &gam_groups::GroupSystem) -> &'static str {
+    let fam_f: GroupSet = [GroupId(0), GroupId(1), GroupId(2)].into_iter().collect();
+    let fam_fp: GroupSet = [GroupId(0), GroupId(2), GroupId(3)].into_iter().collect();
+    if f == fam_f {
+        "𝔣"
+    } else if f == fam_fp {
+        "𝔣′"
+    } else if f == gs.all() {
+        "𝔣″"
+    } else {
+        "?"
+    }
+}
+
+#[derive(Serialize)]
+struct Fig1Record {
+    groups: Vec<String>,
+    cyclic_families: Vec<String>,
+    families_of_g2: Vec<String>,
+    families_of_p1: usize,
+    families_of_p5: usize,
+    f_faulty_when_p2_fails: bool,
+    fprime_faulty_when_p2_fails: bool,
+    gamma_g1_after_stabilisation: String,
+    all_checks_pass: bool,
+}
+
+fn main() {
+    let gs = topology::fig1();
+    println!("Figure 1 — the worked example of §3");
+    println!("===================================\n");
+
+    let mut groups = Vec::new();
+    for (g, members) in gs.iter() {
+        let names: Vec<String> = members.iter().map(paper_name).collect();
+        let line = format!("{g} = {{{}}}", names.join(", "));
+        println!("  {line}");
+        groups.push(line);
+    }
+
+    // Cyclic families and their intersection graphs (Fig. 1b, 1c).
+    let fams = gs.cyclic_families();
+    println!("\ncyclic families ℱ ({}):", fams.len());
+    let mut fam_lines = Vec::new();
+    for f in &fams {
+        let cycles = gs.hamiltonian_cycles(*f);
+        let line = format!(
+            "{} = {f:?} — hamiltonian cycle: {}",
+            family_name(*f, &gs),
+            cycles[0]
+        );
+        println!("  {line}");
+        fam_lines.push(line);
+    }
+
+    // ℱ(g₂) = {𝔣, 𝔣″}
+    let of_g2: Vec<String> = gs
+        .families_of_group(GroupId(1))
+        .iter()
+        .map(|f| family_name(*f, &gs).to_string())
+        .collect();
+    println!("\nℱ(g2) = {{{}}}", of_g2.join(", "));
+    // ℱ(p₁) = ℱ, ℱ(p₅) = ∅
+    let of_p1 = gs.families_of_process(ProcessId(0)).len();
+    let of_p5 = gs.families_of_process(ProcessId(4)).len();
+    println!("|ℱ(p1)| = {of_p1}  (p1 belongs to every cyclic family)");
+    println!("|ℱ(p5)| = {of_p5}  (p5 is in no group intersection)");
+
+    // 𝔣″ is faulty when g₂ ∩ g₁ = {p₂} fails.
+    let crash_p2 = FailurePattern::from_crashes(gs.universe(), [(ProcessId(1), Time(5))]);
+    let fam_f: GroupSet = [GroupId(0), GroupId(1), GroupId(2)].into_iter().collect();
+    let fam_fp: GroupSet = [GroupId(0), GroupId(2), GroupId(3)].into_iter().collect();
+    let f_faulty = gs.family_faulty(fam_f, crash_p2.faulty());
+    let fpp_faulty = gs.family_faulty(gs.all(), crash_p2.faulty());
+    let fp_faulty = gs.family_faulty(fam_fp, crash_p2.faulty());
+    println!("\nwhen p2 fails: 𝔣 faulty = {f_faulty}, 𝔣″ faulty = {fpp_faulty}, 𝔣′ faulty = {fp_faulty}");
+
+    // §3's detector walkthrough with Correct = {p1, p4, p5}.
+    let pattern = FailurePattern::from_crashes(
+        gs.universe(),
+        [(ProcessId(1), Time(5)), (ProcessId(2), Time(7))],
+    );
+    println!("\nCorrect = {{p1, p4, p5}}:");
+    let sigma = SigmaOracle::new(gs.universe(), pattern.clone(), SigmaMode::Alive);
+    let q = sigma.quorum(ProcessId(0), Time(20)).unwrap();
+    let qn: Vec<String> = q.iter().map(paper_name).collect();
+    println!("  Σ eventually returns only correct processes: {{{}}}", qn.join(", "));
+    let omega = OmegaOracle::new(gs.universe(), pattern.clone(), OmegaMode::MinAlive);
+    println!(
+        "  Ω eventually elects {} forever",
+        paper_name(omega.leader(ProcessId(0), Time(20)).unwrap())
+    );
+    let gamma = GammaOracle::new(&gs, pattern, 0);
+    let before = gamma.families(ProcessId(0), Time(0));
+    let after = gamma.families(ProcessId(0), Time(20));
+    println!(
+        "  γ at p1: initially {} families; stabilises to {{{}}}",
+        before.len(),
+        after
+            .iter()
+            .map(|f| family_name(*f, &gs))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let gamma_g1 = gamma.groups(ProcessId(0), GroupId(0), Time(20));
+    println!("  when this happens, γ(g1) = {gamma_g1:?}  (= {{g3, g4}})");
+
+    // checks against the paper's claims
+    let expected_gamma_g1: GroupSet = [GroupId(2), GroupId(3)].into_iter().collect();
+    let all_ok = fams.len() == 3
+        && of_g2 == vec!["𝔣", "𝔣″"]
+        && of_p1 == 3
+        && of_p5 == 0
+        && f_faulty
+        && fpp_faulty
+        && !fp_faulty
+        && after == vec![fam_fp]
+        && gamma_g1 == expected_gamma_g1;
+    println!("\nall Figure 1 claims verified: {}", if all_ok { "YES" } else { "NO" });
+
+    let record = Fig1Record {
+        groups,
+        cyclic_families: fam_lines,
+        families_of_g2: of_g2,
+        families_of_p1: of_p1,
+        families_of_p5: of_p5,
+        f_faulty_when_p2_fails: f_faulty,
+        fprime_faulty_when_p2_fails: fp_faulty,
+        gamma_g1_after_stabilisation: format!("{gamma_g1:?}"),
+        all_checks_pass: all_ok,
+    };
+    std::fs::create_dir_all("target/experiments").expect("create output dir");
+    std::fs::write(
+        "target/experiments/fig1.json",
+        serde_json::to_string_pretty(&record).expect("serialize"),
+    )
+    .expect("write fig1.json");
+    assert!(all_ok, "Figure 1 reproduction failed");
+}

@@ -1,0 +1,142 @@
+//! The performance experiments (the paper's *motivating* claims — it has no
+//! evaluation section, so these regenerate the scalability folklore it cites
+//! [33, 37] and the convoy effect [1, 17]):
+//!
+//! - **Perf-1** — genuine vs broadcast-based multicast: steps taken by
+//!   processes *not addressed* by any message, as the number of disjoint
+//!   groups grows. The genuine solution stays at zero; the broadcast-based
+//!   one grows linearly in `#groups × #messages`.
+//! - **Perf-2** — the convoy effect: delivery latency of a message to one
+//!   group as a function of the length of the cross-group contention chain
+//!   in front of it.
+//!
+//! Run with: `cargo run -p gam-bench --bin perf`
+//! Output:   stdout tables + `target/experiments/perf.json`
+
+use gam_core::baseline::BroadcastBased;
+use gam_core::{Runtime, RuntimeConfig};
+use gam_groups::{topology, GroupId};
+use gam_kernel::{FailurePattern, ProcessSet};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Perf1Row {
+    groups: usize,
+    genuine_total_steps: u64,
+    genuine_unaddressed_steps: u64,
+    broadcast_total_steps: u64,
+    broadcast_unaddressed_steps: u64,
+}
+
+#[derive(Serialize)]
+struct Perf2Row {
+    chain_ahead: usize,
+    delivery_latency_actions: u64,
+}
+
+#[derive(Serialize)]
+struct PerfRecord {
+    perf1: Vec<Perf1Row>,
+    perf2: Vec<Perf2Row>,
+}
+
+fn unaddressed_steps(report: &gam_core::RunReport, addressed: ProcessSet) -> u64 {
+    report
+        .actions_of
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !addressed.contains(gam_kernel::ProcessId(*i as u32)))
+        .map(|(_, c)| *c)
+        .sum()
+}
+
+fn main() {
+    // ---- Perf-1: genuine vs naive, one message to the first group -------
+    println!("Perf-1: steps for a single message to g1, k disjoint groups of 3");
+    println!("{:<8} {:>16} {:>14} {:>16} {:>14}", "k", "genuine total", "(unaddressed)", "broadcast total", "(unaddressed)");
+    let mut perf1 = Vec::new();
+    for k in [1usize, 2, 4, 8, 16, 32] {
+        let gs = topology::disjoint(k, 3);
+        let addressed = gs.members(GroupId(0));
+        // genuine (Algorithm 1)
+        let mut rt = Runtime::new(
+            &gs,
+            FailurePattern::all_correct(gs.universe()),
+            RuntimeConfig::default(),
+        );
+        rt.multicast(addressed.min().unwrap(), GroupId(0), 0);
+        let report = rt.run_to_quiescence(10_000_000);
+        let g_total: u64 = report.actions_of.iter().sum();
+        let g_unaddr = unaddressed_steps(&report, addressed);
+        // broadcast-based
+        let mut bb = BroadcastBased::new(&gs, FailurePattern::all_correct(gs.universe()));
+        bb.multicast(addressed.min().unwrap(), GroupId(0), 0);
+        assert!(bb.run(10_000_000));
+        let b_report = bb.report(true);
+        let b_total: u64 = b_report.actions_of.iter().sum();
+        let b_unaddr = unaddressed_steps(&b_report, addressed);
+        println!("{k:<8} {g_total:>16} {g_unaddr:>14} {b_total:>16} {b_unaddr:>14}");
+        perf1.push(Perf1Row {
+            groups: k,
+            genuine_total_steps: g_total,
+            genuine_unaddressed_steps: g_unaddr,
+            broadcast_total_steps: b_total,
+            broadcast_unaddressed_steps: b_unaddr,
+        });
+    }
+    // shape checks: genuine never touches unaddressed processes; the
+    // broadcast's unaddressed work grows with k.
+    assert!(perf1.iter().all(|r| r.genuine_unaddressed_steps == 0));
+    assert!(perf1.windows(2).all(|w| {
+        w[1].broadcast_unaddressed_steps > w[0].broadcast_unaddressed_steps
+    }));
+    assert!(perf1.windows(2).all(|w| {
+        w[1].genuine_total_steps == w[0].genuine_total_steps
+    }));
+
+    // ---- Perf-2: the convoy effect on a chain ---------------------------
+    // chain(k, 3): g1-g2-...-gk. Submit one message to every group except
+    // the last, then measure how many extra actions the *last* group's
+    // message needs before delivery, as the chain in front grows.
+    println!("\nPerf-2: convoy effect on chain(k,3) — latency of the last group's message");
+    println!("{:<14} {:>26}", "chain ahead", "delivery latency (actions)");
+    let mut perf2 = Vec::new();
+    for ahead in [0usize, 1, 2, 4, 6] {
+        let k = ahead + 1;
+        let gs = topology::chain(k, 3);
+        let mut rt = Runtime::new(
+            &gs,
+            FailurePattern::all_correct(gs.universe()),
+            RuntimeConfig::default(),
+        );
+        // contention chain: one message per group in front
+        for gi in 0..ahead {
+            let g = GroupId(gi as u32);
+            rt.multicast(gs.members(g).min().unwrap(), g, 0);
+        }
+        let last = GroupId(ahead as u32);
+        let m = rt.multicast(gs.members(last).min().unwrap(), last, 99);
+        let before = rt.now();
+        rt.run_to_quiescence(10_000_000);
+        let report = rt.report(true);
+        let delivered_at = report.first_delivery(m).expect("delivered");
+        let latency = delivered_at.0 - before.0;
+        println!("{ahead:<14} {latency:>26}");
+        perf2.push(Perf2Row {
+            chain_ahead: ahead,
+            delivery_latency_actions: latency,
+        });
+    }
+    // shape check: latency grows with the chain length
+    assert!(perf2
+        .windows(2)
+        .all(|w| w[1].delivery_latency_actions > w[0].delivery_latency_actions));
+
+    std::fs::create_dir_all("target/experiments").expect("create output dir");
+    std::fs::write(
+        "target/experiments/perf.json",
+        serde_json::to_string_pretty(&PerfRecord { perf1, perf2 }).expect("serialize"),
+    )
+    .expect("write perf.json");
+    println!("\nshape checks passed: genuine minimality flat at 0; broadcast waste grows; convoy grows");
+}

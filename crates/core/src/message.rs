@@ -1,0 +1,104 @@
+//! Multicast messages and log entries.
+
+use gam_groups::GroupId;
+use gam_kernel::ProcessId;
+use std::fmt;
+
+/// The identity of a multicast message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MessageId(pub u64);
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Static information about a multicast message: sender, destination group
+/// and payload. Under the closed dissemination model `src(m) ∈ dst(m)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageInfo {
+    /// `src(m)` — the multicasting process.
+    pub src: ProcessId,
+    /// `dst(m)` — the destination group.
+    pub group: GroupId,
+    /// `payload(m)` — an opaque application payload.
+    pub payload: u64,
+}
+
+/// A data item stored in the shared logs of Algorithm 1.
+///
+/// `LOG_g` holds three kinds of entries: plain messages (line 7/13),
+/// position announcements `(m, h, i)` (line 14) and stabilisation
+/// announcements `(m, h)` (line 29). `LOG_{g∩h}` for `g ≠ h` only ever holds
+/// plain messages. The derived `Ord` provides the a-priori total order that
+/// breaks ties within a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Datum {
+    /// A multicast message `m`.
+    Msg(MessageId),
+    /// `(m, h, i)`: message `m` occupies slot `i` of `LOG_{g∩h}`.
+    PosAnn(MessageId, GroupId, u64),
+    /// `(m, h)`: message `m` is stabilised in group `h`.
+    StabAnn(MessageId, GroupId),
+}
+
+impl Datum {
+    /// The message the entry refers to.
+    pub fn message(&self) -> MessageId {
+        match self {
+            Datum::Msg(m) | Datum::PosAnn(m, _, _) | Datum::StabAnn(m, _) => *m,
+        }
+    }
+
+    /// Returns the message id if this is a plain message entry.
+    pub fn as_msg(&self) -> Option<MessageId> {
+        match self {
+            Datum::Msg(m) => Some(*m),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Msg(m) => write!(f, "{m}"),
+            Datum::PosAnn(m, h, i) => write!(f, "({m},{h},{i})"),
+            Datum::StabAnn(m, h) => write!(f, "({m},{h})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datum_accessors() {
+        let m = MessageId(3);
+        assert_eq!(Datum::Msg(m).message(), m);
+        assert_eq!(Datum::PosAnn(m, GroupId(1), 4).message(), m);
+        assert_eq!(Datum::StabAnn(m, GroupId(1)).message(), m);
+        assert_eq!(Datum::Msg(m).as_msg(), Some(m));
+        assert_eq!(Datum::StabAnn(m, GroupId(1)).as_msg(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        let m = MessageId(3);
+        assert_eq!(Datum::Msg(m).to_string(), "m3");
+        assert_eq!(Datum::PosAnn(m, GroupId(0), 4).to_string(), "(m3,g1,4)");
+        assert_eq!(Datum::StabAnn(m, GroupId(0)).to_string(), "(m3,g1)");
+        assert_eq!(m.to_string(), "m3");
+    }
+
+    #[test]
+    fn total_order_is_deterministic() {
+        let a = Datum::Msg(MessageId(1));
+        let b = Datum::Msg(MessageId(2));
+        let c = Datum::PosAnn(MessageId(0), GroupId(0), 0);
+        assert!(a < b);
+        assert!(a < c); // Msg variants sort before PosAnn
+    }
+}

@@ -1,0 +1,57 @@
+//! Message phases (line 4 and the `PHASE` mapping of Algorithm 1).
+//!
+//! A message starts in `start`, then moves to `pending` (line 15), `commit`
+//! (line 24), `stable` (line 33) and finally `deliver` (line 37). Phases are
+//! totally ordered by this progression and only ever increase (Claim 14/15).
+
+use std::fmt;
+
+/// The phase of a message at a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Phase {
+    /// Initial phase: not yet picked up from the group log.
+    #[default]
+    Start,
+    /// Positions announced in every `LOG_{g∩h}` (line 15).
+    Pending,
+    /// Final position agreed and locked (line 24).
+    Commit,
+    /// Predecessors frozen in every relevant log (line 33).
+    Stable,
+    /// Delivered to the application (line 37) — terminal.
+    Deliver,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Start => "start",
+            Phase::Pending => "pending",
+            Phase::Commit => "commit",
+            Phase::Stable => "stable",
+            Phase::Deliver => "deliver",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progression_is_totally_ordered() {
+        use Phase::*;
+        let order = [Start, Pending, Commit, Stable, Deliver];
+        for w in order.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(Phase::default(), Start);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Phase::Commit.to_string(), "commit");
+        assert_eq!(Phase::Deliver.to_string(), "deliver");
+    }
+}

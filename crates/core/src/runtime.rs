@@ -1,0 +1,742 @@
+//! The Algorithm 1 runtime — genuine atomic multicast from `μ`.
+//!
+//! This module executes Algorithm 1 of the paper at the shared-memory level:
+//! the logs `LOG_{g∩h}` and consensus objects `CONS_{m,𝔣}` are linearizable
+//! shared objects, and each simulator step executes one *enabled action*
+//! (`multicast`, `pending`, `commit`, `stabilize`, `stable`, `deliver`) at
+//! one process, exactly as the `pre:`/`eff:` pseudo-code prescribes. Since
+//! one operation applies at a time, the execution *is* the linearization the
+//! correctness proofs of §4.4 reason over.
+//!
+//! The client layer implements the Proposition 1 reduction from vanilla to
+//! *group sequential* atomic multicast: each group `g` has a shared list
+//! `L_g`; a submission appends to `L_g`, and members of `g` help-multicast
+//! listed messages in order, each one only after its predecessor was
+//! delivered locally.
+//!
+//! Two variations are provided as modes (§6):
+//! - [`Variant::Strict`] — real-time order, replacing the line-32 guard with
+//!   "`(m,h) ∈ LOG_g` or `1^{g∩h}` fired", for **all** `h` intersecting `g`;
+//! - [`Variant::Pairwise`] — the pairwise-ordering weakening of §7, which
+//!   needs no `γ` (the runtime behaves as if `ℱ = ∅`).
+
+use crate::message::{Datum, MessageId, MessageInfo};
+use crate::phase::Phase;
+use gam_detectors::{IndicatorMode, IndicatorOracle, MuConfig, MuOracle};
+use gam_groups::{GroupId, GroupSet, GroupSystem};
+use gam_kernel::{FailurePattern, ProcessId, ProcessSet, Time};
+use gam_objects::{Consensus, Log, Pos};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Which variation of atomic multicast the runtime solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Variant {
+    /// Vanilla (global total order) genuine atomic multicast — Algorithm 1
+    /// with the candidate `μ`.
+    #[default]
+    Standard,
+    /// Strict (real-time) ordering — §6.1, requires `μ ∧ (∧ 1^{g∩h})`.
+    Strict,
+    /// Pairwise ordering — §7, requires only `(∧ Σ_{g∩h}) ∧ (∧ Ω_g)`;
+    /// delivery cycles across ≥ 3 groups are permitted.
+    Pairwise,
+}
+
+/// How the runtime schedules enabled actions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ActionScheduler {
+    /// Rotate over processes; fire the least enabled action (deterministic).
+    #[default]
+    RoundRobin,
+    /// Pick a random process with enabled actions, then a random action.
+    Random,
+}
+
+/// Configuration of a [`Runtime`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuntimeConfig {
+    /// Which problem variation to solve.
+    pub variant: Variant,
+    /// Tuning of the `μ` oracle components.
+    pub mu: MuConfig,
+    /// Detection latency of the `1^{g∩h}` indicators (strict variant only).
+    pub indicator_delay: u64,
+    /// Scheduling policy.
+    pub scheduler: ActionScheduler,
+    /// Seed for the random scheduler.
+    pub seed: u64,
+}
+
+/// An enabled action of Algorithm 1, at one process, about one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Action {
+    /// Help-multicast the next listed message of `L_g` (line 7 + Prop. 1).
+    Inject(GroupId, MessageId),
+    /// Lines 8–15.
+    Pending(MessageId),
+    /// Lines 16–24.
+    Commit(MessageId),
+    /// Lines 25–29, for group `h`.
+    Stabilize(MessageId, GroupId),
+    /// Lines 30–33.
+    Stable(MessageId),
+    /// Lines 34–37.
+    Deliver(MessageId),
+}
+
+/// A recorded delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// The delivered message.
+    pub msg: MessageId,
+    /// When the delivery happened.
+    pub at: Time,
+}
+
+/// Everything a property checker needs to know about a finished run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The group system of the run.
+    pub system: GroupSystem,
+    /// The failure pattern of the run.
+    pub pattern: FailurePattern,
+    /// Message metadata, indexed by [`MessageId`].
+    pub messages: Vec<MessageInfo>,
+    /// Submission (user-level multicast) time per message.
+    pub multicast_at: Vec<Time>,
+    /// Per-process local delivery sequences, in delivery order.
+    pub delivered: Vec<Vec<Delivery>>,
+    /// Per-process action counts (the "steps" minimality quantifies over).
+    pub actions_of: Vec<u64>,
+    /// Whether the run reached quiescence within its budget.
+    pub quiescent: bool,
+}
+
+impl RunReport {
+    /// The local delivery sequence of `p`, as message ids.
+    pub fn delivered_by(&self, p: ProcessId) -> Vec<MessageId> {
+        self.delivered[p.index()].iter().map(|d| d.msg).collect()
+    }
+
+    /// Whether `p` delivered `m`.
+    pub fn has_delivered(&self, p: ProcessId, m: MessageId) -> bool {
+        self.delivered[p.index()].iter().any(|d| d.msg == m)
+    }
+
+    /// The earliest delivery time of `m` across processes, if delivered.
+    pub fn first_delivery(&self, m: MessageId) -> Option<Time> {
+        self.delivered
+            .iter()
+            .flatten()
+            .filter(|d| d.msg == m)
+            .map(|d| d.at)
+            .min()
+    }
+}
+
+/// The Algorithm 1 runtime. See the module docs.
+#[derive(Debug)]
+pub struct Runtime {
+    system: GroupSystem,
+    pattern: FailurePattern,
+    mu: MuOracle,
+    indicators: HashMap<(GroupId, GroupId), IndicatorOracle>,
+    variant: Variant,
+    scheduler: ActionScheduler,
+    now: Time,
+    // Shared objects.
+    logs: HashMap<(GroupId, GroupId), Log<Datum>>,
+    cons: HashMap<(MessageId, GroupSet), Consensus<u64>>,
+    lists: Vec<Vec<MessageId>>,
+    // Message metadata.
+    messages: Vec<MessageInfo>,
+    multicast_at: Vec<Time>,
+    // Per-process state.
+    phase: Vec<HashMap<MessageId, Phase>>,
+    delivered: Vec<Vec<Delivery>>,
+    actions_of: Vec<u64>,
+    rr_cursor: usize,
+    rng: StdRng,
+}
+
+impl Runtime {
+    /// Builds a runtime over `system` with the given failure pattern.
+    pub fn new(system: &GroupSystem, pattern: FailurePattern, config: RuntimeConfig) -> Self {
+        let n = system.universe().max().map_or(0, |p| p.index() + 1);
+        let mu = MuOracle::new(system, pattern.clone(), config.mu);
+        let mut indicators = HashMap::new();
+        if config.variant == Variant::Strict {
+            for (g, h) in system.intersecting_pairs() {
+                indicators.insert(
+                    (g, h),
+                    IndicatorOracle::new(
+                        system.intersection(g, h),
+                        system.members(g) | system.members(h),
+                        pattern.clone(),
+                        config.indicator_delay,
+                        IndicatorMode::Truthful,
+                    ),
+                );
+            }
+        }
+        let mut logs = HashMap::new();
+        for (g, _) in system.iter() {
+            logs.insert((g, g), Log::new());
+        }
+        for (g, h) in system.intersecting_pairs() {
+            logs.insert((g, h), Log::new());
+        }
+        Runtime {
+            system: system.clone(),
+            pattern,
+            mu,
+            indicators,
+            variant: config.variant,
+            scheduler: config.scheduler,
+            now: Time::ZERO,
+            logs,
+            cons: HashMap::new(),
+            lists: vec![Vec::new(); system.len()],
+            messages: Vec::new(),
+            multicast_at: Vec::new(),
+            phase: vec![HashMap::new(); n],
+            delivered: vec![Vec::new(); n],
+            actions_of: vec![0; n],
+            rr_cursor: 0,
+            rng: StdRng::seed_from_u64(config.seed),
+        }
+    }
+
+    /// The current global time (one tick per action or submission).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The group system of the runtime.
+    pub fn system(&self) -> &GroupSystem {
+        &self.system
+    }
+
+    /// The failure pattern driving the run.
+    pub fn pattern(&self) -> &FailurePattern {
+        &self.pattern
+    }
+
+    fn log_key(&self, g: GroupId, h: GroupId) -> (GroupId, GroupId) {
+        if g <= h {
+            (g, h)
+        } else {
+            (h, g)
+        }
+    }
+
+    fn log(&self, g: GroupId, h: GroupId) -> &Log<Datum> {
+        &self.logs[&self.log_key(g, h)]
+    }
+
+    fn log_mut(&mut self, g: GroupId, h: GroupId) -> &mut Log<Datum> {
+        let key = self.log_key(g, h);
+        self.logs.get_mut(&key).expect("log exists")
+    }
+
+    fn phase_of(&self, p: ProcessId, m: MessageId) -> Phase {
+        self.phase[p.index()]
+            .get(&m)
+            .copied()
+            .unwrap_or(Phase::Start)
+    }
+
+    fn alive(&self, p: ProcessId) -> bool {
+        !self.pattern.is_crashed(p, self.now)
+    }
+
+    /// Submits a user-level `multicast(m)` from `src` to `group` (the
+    /// Proposition 1 client layer: appends to the shared list `L_g`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is not a member of `group` (closed dissemination
+    /// model) or has already crashed.
+    pub fn multicast(&mut self, src: ProcessId, group: GroupId, payload: u64) -> MessageId {
+        assert!(
+            self.system.members(group).contains(src),
+            "{src} ∉ {group}: closed model requires src(m) ∈ dst(m)"
+        );
+        self.now = self.now.next();
+        assert!(self.alive(src), "{src} has crashed; it cannot multicast");
+        let id = MessageId(self.messages.len() as u64);
+        self.messages.push(MessageInfo {
+            src,
+            group,
+            payload,
+        });
+        self.multicast_at.push(self.now);
+        self.lists[group.index()].push(id);
+        id
+    }
+
+    /// The groups of `p` (`𝒢(p)`).
+    fn groups_of(&self, p: ProcessId) -> GroupSet {
+        self.system.groups_of(p)
+    }
+
+    /// Enumerates the actions currently enabled at `p`.
+    fn enabled_actions(&self, p: ProcessId) -> Vec<Action> {
+        let mut out = Vec::new();
+        let my_groups = self.groups_of(p);
+        // Inject: the first locally-undelivered message of L_g, unless it is
+        // already in LOG_g.
+        for g in my_groups {
+            if let Some(m) = self
+                .lists[g.index()]
+                .iter()
+                .find(|m| self.phase_of(p, **m) != Phase::Deliver)
+            {
+                if !self.log(g, g).contains(&Datum::Msg(*m)) {
+                    out.push(Action::Inject(g, *m));
+                }
+            }
+        }
+        // Per-message actions, for messages addressed to p.
+        for (i, info) in self.messages.iter().enumerate() {
+            let m = MessageId(i as u64);
+            let g = info.group;
+            if !my_groups.contains(g) {
+                continue;
+            }
+            match self.phase_of(p, m) {
+                Phase::Start => {
+                    if self.pending_enabled(p, m, g) {
+                        out.push(Action::Pending(m));
+                    }
+                }
+                Phase::Pending => {
+                    if self.commit_enabled(p, m, g) {
+                        out.push(Action::Commit(m));
+                    }
+                }
+                Phase::Commit => {
+                    for h in my_groups {
+                        if self.stabilize_enabled(p, m, g, h) {
+                            out.push(Action::Stabilize(m, h));
+                        }
+                    }
+                    if self.stable_enabled(p, m, g) {
+                        out.push(Action::Stable(m));
+                    }
+                }
+                Phase::Stable => {
+                    if self.deliver_enabled(p, m, g) {
+                        out.push(Action::Deliver(m));
+                    }
+                }
+                Phase::Deliver => {}
+            }
+        }
+        out
+    }
+
+    /// Lines 9–11.
+    fn pending_enabled(&self, p: ProcessId, m: MessageId, g: GroupId) -> bool {
+        let log = self.log(g, g);
+        if !log.contains(&Datum::Msg(m)) {
+            return false;
+        }
+        // ∀ m' <_{LOG_g} m (message entries): PHASE[m'] ≥ commit
+        self.msgs_before(g, g, m)
+            .into_iter()
+            .all(|m2| self.phase_of(p, m2) >= Phase::Commit)
+    }
+
+    /// Message entries of `LOG_{g∩h}` strictly before `m` in log order.
+    fn msgs_before(&self, g: GroupId, h: GroupId, m: MessageId) -> Vec<MessageId> {
+        let log = self.log(g, h);
+        let me = Datum::Msg(m);
+        log.iter_in_order()
+            .filter(|d| log.before(d, &me))
+            .filter_map(|d| d.as_msg())
+            .collect()
+    }
+
+    /// `γ(g)` as seen by `p` now — for the pairwise variant, always empty.
+    fn gamma_groups(&self, p: ProcessId, g: GroupId) -> GroupSet {
+        match self.variant {
+            Variant::Pairwise => GroupSet::EMPTY,
+            _ => self.mu.gamma_groups(p, g, self.now),
+        }
+    }
+
+    /// Lines 17–18.
+    fn commit_enabled(&self, p: ProcessId, m: MessageId, g: GroupId) -> bool {
+        let log = self.log(g, g);
+        self.gamma_groups(p, g).iter().all(|h| {
+            log.iter_in_order()
+                .any(|d| matches!(d, Datum::PosAnn(m2, h2, _) if *m2 == m && *h2 == h))
+        })
+    }
+
+    /// Lines 26–28 (plus a progress guard: the announcement is not yet in
+    /// `LOG_g` — appending is idempotent, so this only prunes no-op actions).
+    fn stabilize_enabled(&self, p: ProcessId, m: MessageId, g: GroupId, h: GroupId) -> bool {
+        if self.log(g, g).contains(&Datum::StabAnn(m, h)) {
+            return false;
+        }
+        if !self.log(g, h).contains(&Datum::Msg(m)) {
+            return false;
+        }
+        self.msgs_before(g, h, m)
+            .into_iter()
+            .all(|m2| self.phase_of(p, m2) >= Phase::Stable)
+    }
+
+    /// Lines 31–32, with the §6.1 modification under [`Variant::Strict`].
+    fn stable_enabled(&self, p: ProcessId, m: MessageId, g: GroupId) -> bool {
+        let log = self.log(g, g);
+        match self.variant {
+            Variant::Standard | Variant::Pairwise => self
+                .gamma_groups(p, g)
+                .iter()
+                .all(|h| log.contains(&Datum::StabAnn(m, h))),
+            Variant::Strict => self.system.iter().all(|(h, _)| {
+                if h == g || !self.system.intersecting(g, h) {
+                    return true;
+                }
+                log.contains(&Datum::StabAnn(m, h))
+                    || self.indicators[&self.log_key(g, h)]
+                        .indicates(p, self.now)
+                        .unwrap_or(false)
+            }),
+        }
+    }
+
+    /// Lines 35–36: every message before `m` in any log at `p` that contains
+    /// `m` is locally delivered.
+    fn deliver_enabled(&self, p: ProcessId, m: MessageId, g: GroupId) -> bool {
+        for h in self.groups_of(p) {
+            if !self.log(g, h).contains(&Datum::Msg(m)) {
+                continue;
+            }
+            let ok = self
+                .msgs_before(g, h, m)
+                .into_iter()
+                .all(|m2| self.phase_of(p, m2) == Phase::Deliver);
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Applies `action` at `p` (the `eff:` blocks).
+    fn apply(&mut self, p: ProcessId, action: Action) {
+        self.actions_of[p.index()] += 1;
+        match action {
+            Action::Inject(g, m) => {
+                self.log_mut(g, g).append(Datum::Msg(m));
+            }
+            Action::Pending(m) => {
+                let g = self.messages[m.0 as usize].group;
+                for h in self.groups_of(p) {
+                    let i = self.log_mut(g, h).append(Datum::Msg(m)).0;
+                    self.log_mut(g, g).append(Datum::PosAnn(m, h, i));
+                }
+                self.phase[p.index()].insert(m, Phase::Pending);
+            }
+            Action::Commit(m) => {
+                let g = self.messages[m.0 as usize].group;
+                // line 19: k = max{i : ∃(m,-,i) ∈ LOG_g}
+                let k = self
+                    .log(g, g)
+                    .iter_in_order()
+                    .filter_map(|d| match d {
+                        Datum::PosAnn(m2, _, i) if *m2 == m => Some(*i),
+                        _ => None,
+                    })
+                    .max()
+                    .expect("own position announcement present");
+                // line 20: 𝔣 = H(p, g) — under the pairwise weakening the
+                // runtime behaves as if ℱ = ∅, so 𝔣 = ∅ as well.
+                let f = match self.variant {
+                    Variant::Pairwise => GroupSet::EMPTY,
+                    _ => self.system.h_set(p, g),
+                };
+                // line 21: k ← CONS_{m,𝔣}.propose(k)
+                let k = self.cons.entry((m, f)).or_default().propose(k);
+                // lines 22–23
+                for h in self.groups_of(p) {
+                    self.log_mut(g, h).bump_and_lock(&Datum::Msg(m), Pos(k));
+                }
+                self.phase[p.index()].insert(m, Phase::Commit);
+            }
+            Action::Stabilize(m, h) => {
+                let g = self.messages[m.0 as usize].group;
+                self.log_mut(g, g).append(Datum::StabAnn(m, h));
+            }
+            Action::Stable(m) => {
+                self.phase[p.index()].insert(m, Phase::Stable);
+            }
+            Action::Deliver(m) => {
+                self.phase[p.index()].insert(m, Phase::Deliver);
+                self.delivered[p.index()].push(Delivery { msg: m, at: self.now });
+            }
+        }
+    }
+
+    /// Runs until quiescence or `max_actions`, scheduling every process.
+    /// Returns `true` on quiescence.
+    pub fn run(&mut self, max_actions: u64) -> bool {
+        self.run_only(self.system.universe(), max_actions)
+    }
+
+    /// Returns `true` if some live process of `set` still owes a delivery:
+    /// a submitted message addressed to it that it has not delivered.
+    /// While obligations remain the run is not quiescent — a guard may be
+    /// waiting on *time* alone (a γ exclusion, an indicator firing), so the
+    /// run loop idles the clock forward instead of stopping.
+    fn has_obligations(&self, set: ProcessSet) -> bool {
+        self.messages.iter().enumerate().any(|(i, info)| {
+            let m = MessageId(i as u64);
+            (self.system.members(info.group) & set)
+                .iter()
+                .any(|p| self.alive(p) && self.phase_of(p, m) != Phase::Deliver)
+        })
+    }
+
+    /// Runs scheduling only the processes of `set` — the adversarial
+    /// schedules that group parallelism (§6.2) and genuineness quantify
+    /// over. Returns `true` on quiescence of `set`: no enabled action *and*
+    /// no outstanding delivery obligation. A run whose obligations never
+    /// resolve (a liveness failure, e.g. an ablated detector) exhausts its
+    /// budget and returns `false`.
+    pub fn run_only(&mut self, set: ProcessSet, max_actions: u64) -> bool {
+        let n = self.phase.len();
+        let mut taken = 0u64;
+        loop {
+            if taken >= max_actions {
+                return false;
+            }
+            // advance time so crash injection precedes eligibility
+            let candidates: Vec<(ProcessId, Vec<Action>)> = set
+                .iter()
+                .filter(|p| self.alive(*p))
+                .map(|p| (p, self.enabled_actions(p)))
+                .filter(|(_, a)| !a.is_empty())
+                .collect();
+            if candidates.is_empty() {
+                if !self.has_obligations(set) {
+                    return true;
+                }
+                // Idle tick: guards can be enabled purely by the passage of
+                // time (detector stabilisation); let the clock advance.
+                self.now = self.now.next();
+                taken += 1;
+                continue;
+            }
+            let (p, action) = match self.scheduler {
+                ActionScheduler::RoundRobin => {
+                    let mut chosen = None;
+                    for off in 0..n {
+                        let idx = (self.rr_cursor + off) % n;
+                        if let Some((p, acts)) =
+                            candidates.iter().find(|(p, _)| p.index() == idx)
+                        {
+                            self.rr_cursor = (idx + 1) % n;
+                            chosen = Some((*p, *acts.iter().min().expect("non-empty")));
+                            break;
+                        }
+                    }
+                    chosen.expect("candidates non-empty")
+                }
+                ActionScheduler::Random => {
+                    let (p, acts) = &candidates[self.rng.gen_range(0..candidates.len())];
+                    (*p, acts[self.rng.gen_range(0..acts.len())])
+                }
+            };
+            self.now = self.now.next();
+            if self.alive(p) {
+                self.apply(p, action);
+            }
+            taken += 1;
+        }
+    }
+
+    /// Produces the report for property checking.
+    pub fn report(&self, quiescent: bool) -> RunReport {
+        RunReport {
+            system: self.system.clone(),
+            pattern: self.pattern.clone(),
+            messages: self.messages.clone(),
+            multicast_at: self.multicast_at.clone(),
+            delivered: self.delivered.clone(),
+            actions_of: self.actions_of.clone(),
+            quiescent,
+        }
+    }
+
+    /// Convenience: run to quiescence (panicking if the budget is exhausted)
+    /// and report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run does not quiesce within `max_actions` — for
+    /// experiments that *expect* blocking, use [`Runtime::run`] directly.
+    pub fn run_to_quiescence(&mut self, max_actions: u64) -> RunReport {
+        let q = self.run(max_actions);
+        assert!(q, "runtime did not quiesce within {max_actions} actions");
+        self.report(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gam_groups::topology;
+
+    fn runtime(system: &GroupSystem, pattern: FailurePattern) -> Runtime {
+        Runtime::new(system, pattern, RuntimeConfig::default())
+    }
+
+    #[test]
+    fn single_group_single_message() {
+        let gs = topology::single_group(3);
+        let mut rt = runtime(&gs, FailurePattern::all_correct(gs.universe()));
+        let m = rt.multicast(ProcessId(0), GroupId(0), 7);
+        let report = rt.run_to_quiescence(10_000);
+        for p in gs.universe() {
+            assert_eq!(report.delivered_by(p), vec![m], "{p}");
+        }
+    }
+
+    #[test]
+    fn single_group_orders_messages_identically() {
+        let gs = topology::single_group(4);
+        let mut rt = runtime(&gs, FailurePattern::all_correct(gs.universe()));
+        let m1 = rt.multicast(ProcessId(0), GroupId(0), 1);
+        let m2 = rt.multicast(ProcessId(1), GroupId(0), 2);
+        let m3 = rt.multicast(ProcessId(2), GroupId(0), 3);
+        let report = rt.run_to_quiescence(100_000);
+        let expected = vec![m1, m2, m3];
+        for p in gs.universe() {
+            assert_eq!(report.delivered_by(p), expected, "{p}");
+        }
+    }
+
+    #[test]
+    fn disjoint_groups_progress_independently() {
+        let gs = topology::disjoint(3, 2);
+        let mut rt = runtime(&gs, FailurePattern::all_correct(gs.universe()));
+        let mut per_group = Vec::new();
+        for g in 0..3u32 {
+            let src = gs.members(GroupId(g)).min().unwrap();
+            per_group.push(rt.multicast(src, GroupId(g), g as u64));
+        }
+        let report = rt.run_to_quiescence(100_000);
+        for (g, m) in per_group.iter().enumerate() {
+            for p in gs.members(GroupId(g as u32)) {
+                assert_eq!(report.delivered_by(p), vec![*m]);
+            }
+        }
+    }
+
+    #[test]
+    fn fig1_cross_group_messages_deliver_everywhere() {
+        let gs = topology::fig1();
+        let mut rt = runtime(&gs, FailurePattern::all_correct(gs.universe()));
+        // one message per group, from its minimum member
+        let ms: Vec<MessageId> = (0..4u32)
+            .map(|g| {
+                let src = gs.members(GroupId(g)).min().unwrap();
+                rt.multicast(src, GroupId(g), g as u64)
+            })
+            .collect();
+        let report = rt.run_to_quiescence(1_000_000);
+        for (g, m) in ms.iter().enumerate() {
+            for p in gs.members(GroupId(g as u32)) {
+                assert!(report.has_delivered(p, *m), "{p} missing {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_topology_with_contention_quiesces() {
+        // The minimal cyclic topology: messages in all groups concurrently.
+        let gs = topology::ring(3, 2);
+        for seed in 0..5u64 {
+            let mut rt = Runtime::new(
+                &gs,
+                FailurePattern::all_correct(gs.universe()),
+                RuntimeConfig {
+                    scheduler: ActionScheduler::Random,
+                    seed,
+                    ..Default::default()
+                },
+            );
+            let ms: Vec<MessageId> = (0..3u32)
+                .map(|g| {
+                    let src = gs.members(GroupId(g)).min().unwrap();
+                    rt.multicast(src, GroupId(g), g as u64)
+                })
+                .collect();
+            let report = rt.run_to_quiescence(1_000_000);
+            for (g, m) in ms.iter().enumerate() {
+                for p in gs.members(GroupId(g as u32)) {
+                    assert!(report.has_delivered(p, *m), "seed {seed}: {p} missing {m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_sequential_discipline_allows_bursts() {
+        // Multiple messages submitted to the same group up-front: the
+        // Proposition 1 layer sequences them.
+        let gs = topology::two_overlapping(3, 1);
+        let mut rt = runtime(&gs, FailurePattern::all_correct(gs.universe()));
+        let mut ms = Vec::new();
+        for i in 0..5u64 {
+            ms.push(rt.multicast(ProcessId(0), GroupId(0), i));
+        }
+        let report = rt.run_to_quiescence(1_000_000);
+        for p in gs.members(GroupId(0)) {
+            assert_eq!(report.delivered_by(p), ms, "{p}");
+        }
+    }
+
+    #[test]
+    fn crashed_intersection_does_not_block_fig1() {
+        // p2 = g1∩g2 crashes immediately after a message to g1 is submitted.
+        // γ eventually reports the families through g1∩g2 faulty; the
+        // correct members of g1 must still deliver.
+        let gs = topology::fig1();
+        let pattern = FailurePattern::from_crashes(gs.universe(), [(ProcessId(1), Time(2))]);
+        let mut rt = runtime(&gs, pattern);
+        let m = rt.multicast(ProcessId(0), GroupId(0), 9);
+        let report = rt.run_to_quiescence(1_000_000);
+        // correct members of g1 = {p1}
+        assert!(report.has_delivered(ProcessId(0), m));
+    }
+
+    #[test]
+    fn multicast_rejects_non_member() {
+        let gs = topology::fig1();
+        let mut rt = runtime(&gs, FailurePattern::all_correct(gs.universe()));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.multicast(ProcessId(4), GroupId(0), 0) // p5 ∉ g1
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn report_accessors() {
+        let gs = topology::single_group(2);
+        let mut rt = runtime(&gs, FailurePattern::all_correct(gs.universe()));
+        let m = rt.multicast(ProcessId(0), GroupId(0), 1);
+        let report = rt.run_to_quiescence(10_000);
+        assert!(report.first_delivery(m).is_some());
+        assert!(report.has_delivered(ProcessId(1), m));
+        assert!(report.quiescent);
+        assert!(report.actions_of.iter().sum::<u64>() > 0);
+    }
+}

@@ -1,0 +1,601 @@
+//! Property checkers for atomic multicast runs (§2.2, §2.3, §6, §7).
+//!
+//! Each checker consumes a [`RunReport`] and verifies one axiom of the
+//! problem: *integrity*, *ordering* (acyclicity of the delivery relation
+//! `↦`), *termination*, *minimality* (genuineness), *strict ordering*
+//! (`↦ ∪ ⤳` acyclic) and *pairwise ordering*. The experiment suites use
+//! these to populate the Table 1 solvability matrix.
+
+use crate::message::MessageId;
+use crate::runtime::RunReport;
+use gam_kernel::{ProcessId, ProcessSet};
+
+/// A violation of an atomic multicast property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecViolation {
+    /// Which property failed.
+    pub property: &'static str,
+    /// Human-readable details.
+    pub detail: String,
+}
+
+impl std::fmt::Display for SpecViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} violated: {}", self.property, self.detail)
+    }
+}
+
+impl std::error::Error for SpecViolation {}
+
+fn dst(report: &RunReport, m: MessageId) -> ProcessSet {
+    report.system.members(report.messages[m.0 as usize].group)
+}
+
+/// *(Integrity)* Every process delivers a message at most once, and only if
+/// it belongs to `dst(m)` and `m` was previously multicast.
+///
+/// # Errors
+///
+/// Returns the first [`SpecViolation`] found.
+pub fn check_integrity(report: &RunReport) -> Result<(), SpecViolation> {
+    for (i, deliveries) in report.delivered.iter().enumerate() {
+        let p = ProcessId(i as u32);
+        let mut seen = std::collections::BTreeSet::new();
+        for d in deliveries {
+            if d.msg.0 as usize >= report.messages.len() {
+                return Err(SpecViolation {
+                    property: "integrity",
+                    detail: format!("{p} delivered unknown message {}", d.msg),
+                });
+            }
+            if !seen.insert(d.msg) {
+                return Err(SpecViolation {
+                    property: "integrity",
+                    detail: format!("{p} delivered {} twice", d.msg),
+                });
+            }
+            if !dst(report, d.msg).contains(p) {
+                return Err(SpecViolation {
+                    property: "integrity",
+                    detail: format!("{p} ∉ dst({}) but delivered it", d.msg),
+                });
+            }
+            if d.at < report.multicast_at[d.msg.0 as usize] {
+                return Err(SpecViolation {
+                    property: "integrity",
+                    detail: format!("{} delivered before it was multicast", d.msg),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The local delivery relation `m ↦_p m'`: `p ∈ dst(m) ∩ dst(m')` and, at the
+/// time `p` delivers `m`, it has not (yet) delivered `m'`.
+fn local_edges(report: &RunReport, p: ProcessId) -> Vec<(MessageId, MessageId)> {
+    let seq = report.delivered_by(p);
+    let mut edges = Vec::new();
+    // Delivered pairs, in local order.
+    for (i, m) in seq.iter().enumerate() {
+        for m2 in &seq[i + 1..] {
+            edges.push((*m, *m2));
+        }
+        // m delivered, m' addressed to p but never delivered by p.
+        for j in 0..report.messages.len() {
+            let m2 = MessageId(j as u64);
+            if m2 != *m && dst(report, m2).contains(p) && !seq.contains(&m2) {
+                edges.push((*m, m2));
+            }
+        }
+    }
+    edges
+}
+
+/// The delivery relation `↦ = ∪_p ↦_p` of the run.
+pub fn delivery_relation(report: &RunReport) -> Vec<(MessageId, MessageId)> {
+    let mut edges = Vec::new();
+    for i in 0..report.delivered.len() {
+        for e in local_edges(report, ProcessId(i as u32)) {
+            if !edges.contains(&e) {
+                edges.push(e);
+            }
+        }
+    }
+    edges
+}
+
+fn acyclic(n: usize, edges: &[(MessageId, MessageId)]) -> Result<(), Vec<MessageId>> {
+    // Iterative DFS three-colour cycle detection.
+    let mut adj = vec![Vec::new(); n];
+    for (a, b) in edges {
+        adj[a.0 as usize].push(b.0 as usize);
+    }
+    let mut colour = vec![0u8; n]; // 0 white, 1 grey, 2 black
+    for start in 0..n {
+        if colour[start] != 0 {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        colour[start] = 1;
+        while let Some((v, i)) = stack.pop() {
+            if i < adj[v].len() {
+                stack.push((v, i + 1));
+                let w = adj[v][i];
+                match colour[w] {
+                    0 => {
+                        colour[w] = 1;
+                        stack.push((w, 0));
+                    }
+                    1 => {
+                        // grey → grey edge: cycle through w
+                        let mut cyc: Vec<MessageId> =
+                            stack.iter().map(|(v, _)| MessageId(*v as u64)).collect();
+                        cyc.push(MessageId(w as u64));
+                        return Err(cyc);
+                    }
+                    _ => {}
+                }
+            } else {
+                colour[v] = 2;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// *(Ordering)* The delivery relation `↦` is acyclic over `ℳ`.
+///
+/// # Errors
+///
+/// Returns the first [`SpecViolation`] found.
+pub fn check_ordering(report: &RunReport) -> Result<(), SpecViolation> {
+    let edges = delivery_relation(report);
+    acyclic(report.messages.len(), &edges).map_err(|cyc| SpecViolation {
+        property: "ordering",
+        detail: format!("delivery cycle: {cyc:?}"),
+    })
+}
+
+/// *(Termination)* If a correct process multicasts `m`, or any process
+/// delivers `m`, then every correct process of `dst(m)` delivers `m`.
+///
+/// Only meaningful on quiescent reports.
+///
+/// # Errors
+///
+/// Returns the first [`SpecViolation`] found.
+pub fn check_termination(report: &RunReport) -> Result<(), SpecViolation> {
+    if !report.quiescent {
+        return Err(SpecViolation {
+            property: "termination",
+            detail: "run did not quiesce within its budget".into(),
+        });
+    }
+    let correct = report.pattern.correct();
+    for (i, info) in report.messages.iter().enumerate() {
+        let m = MessageId(i as u64);
+        let delivered_somewhere = (0..report.delivered.len())
+            .any(|j| report.has_delivered(ProcessId(j as u32), m));
+        let must_deliver = correct.contains(info.src) || delivered_somewhere;
+        if !must_deliver {
+            continue;
+        }
+        for p in dst(report, m) & correct {
+            if !report.has_delivered(p, m) {
+                return Err(SpecViolation {
+                    property: "termination",
+                    detail: format!("correct {p} ∈ dst({m}) never delivered it"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// *(Minimality — genuineness)* A correct process takes steps only if some
+/// multicast message is addressed to it.
+///
+/// # Errors
+///
+/// Returns the first [`SpecViolation`] found.
+pub fn check_minimality(report: &RunReport) -> Result<(), SpecViolation> {
+    let addressed: ProcessSet = report
+        .messages
+        .iter()
+        .map(|info| report.system.members(info.group))
+        .fold(ProcessSet::EMPTY, |a, b| a | b);
+    for (i, count) in report.actions_of.iter().enumerate() {
+        let p = ProcessId(i as u32);
+        if *count > 0 && !addressed.contains(p) {
+            return Err(SpecViolation {
+                property: "minimality",
+                detail: format!("{p} took {count} steps but no message is addressed to it"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// *(Strict Ordering — §6.1)* The transitive closure of `↦ ∪ ⤳` is a strict
+/// partial order, where `m ⤳ m'` when `m` is delivered in real time before
+/// `m'` is multicast.
+///
+/// # Errors
+///
+/// Returns the first [`SpecViolation`] found.
+pub fn check_strict_ordering(report: &RunReport) -> Result<(), SpecViolation> {
+    let mut edges = delivery_relation(report);
+    for i in 0..report.messages.len() {
+        let m = MessageId(i as u64);
+        let Some(t) = report.first_delivery(m) else {
+            continue;
+        };
+        for j in 0..report.messages.len() {
+            let m2 = MessageId(j as u64);
+            if m != m2 && t < report.multicast_at[j] && !edges.contains(&(m, m2)) {
+                edges.push((m, m2));
+            }
+        }
+    }
+    acyclic(report.messages.len(), &edges).map_err(|cyc| SpecViolation {
+        property: "strict-ordering",
+        detail: format!("cycle in ↦ ∪ ⤳: {cyc:?}"),
+    })
+}
+
+/// *(Pairwise Ordering — §7)* If `p` delivers `m` then `m'`, every process
+/// that delivers `m'` has delivered `m` before.
+///
+/// # Errors
+///
+/// Returns the first [`SpecViolation`] found.
+pub fn check_pairwise_ordering(report: &RunReport) -> Result<(), SpecViolation> {
+    let n = report.delivered.len();
+    for i in 0..n {
+        let p = ProcessId(i as u32);
+        let seq = report.delivered_by(p);
+        for (a, m) in seq.iter().enumerate() {
+            for m2 in &seq[a + 1..] {
+                // p delivers m then m'. Check every q delivering m'.
+                for j in 0..n {
+                    let q = ProcessId(j as u32);
+                    if !dst(report, *m).contains(q) {
+                        continue;
+                    }
+                    let qseq = report.delivered_by(q);
+                    if let Some(pos2) = qseq.iter().position(|x| x == m2) {
+                        match qseq.iter().position(|x| x == m) {
+                            Some(pos1) if pos1 < pos2 => {}
+                            _ => {
+                                return Err(SpecViolation {
+                                    property: "pairwise-ordering",
+                                    detail: format!(
+                                        "{p} delivered {m} before {m2}, but {q} delivered {m2} without {m} first"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// *(Group Sequentiality — §4.1)* Messages addressed to the same group are
+/// totally ordered by `≺`: under the Proposition 1 client layer this means
+/// every member delivers its group's messages in submission (`L_g`) order.
+///
+/// # Errors
+///
+/// Returns the first [`SpecViolation`] found.
+pub fn check_group_sequential(report: &RunReport) -> Result<(), SpecViolation> {
+    for g in 0..report.system.len() {
+        // submission order of messages addressed to group g
+        let mut listed: Vec<MessageId> = (0..report.messages.len())
+            .map(|i| MessageId(i as u64))
+            .filter(|m| report.messages[m.0 as usize].group.index() == g)
+            .collect();
+        listed.sort_by_key(|m| report.multicast_at[m.0 as usize]);
+        for p in report.system.members(gam_groups::GroupId(g as u32)) {
+            let seq: Vec<MessageId> = report
+                .delivered_by(p)
+                .into_iter()
+                .filter(|m| listed.contains(m))
+                .collect();
+            // `seq` must be a prefix-order-respecting subsequence of `listed`
+            let positions: Vec<usize> = seq
+                .iter()
+                .map(|m| listed.iter().position(|x| x == m).expect("listed"))
+                .collect();
+            if positions.windows(2).any(|w| w[0] > w[1]) {
+                return Err(SpecViolation {
+                    property: "group-sequential",
+                    detail: format!("{p} delivered group g{} out of L_g order", g + 1),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs all checks appropriate for the given variant of the problem.
+///
+/// # Errors
+///
+/// Returns the first [`SpecViolation`] found.
+pub fn check_all(report: &RunReport, variant: crate::Variant) -> Result<(), SpecViolation> {
+    check_integrity(report)?;
+    check_minimality(report)?;
+    check_termination(report)?;
+    match variant {
+        crate::Variant::Standard => check_ordering(report),
+        crate::Variant::Strict => {
+            check_ordering(report)?;
+            check_strict_ordering(report)
+        }
+        crate::Variant::Pairwise => check_pairwise_ordering(report),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageInfo;
+    use crate::runtime::{Delivery, RunReport};
+    use gam_groups::{topology, GroupId};
+    use gam_kernel::{FailurePattern, Time};
+
+    /// Hand-built report over the two-overlapping topology.
+    fn base_report() -> RunReport {
+        let system = topology::two_overlapping(2, 1); // g1={p0,p1}, g2={p1,p2}
+        let pattern = FailurePattern::all_correct(system.universe());
+        RunReport {
+            system,
+            pattern,
+            messages: vec![
+                MessageInfo {
+                    src: ProcessId(0),
+                    group: GroupId(0),
+                    payload: 0,
+                },
+                MessageInfo {
+                    src: ProcessId(1),
+                    group: GroupId(1),
+                    payload: 1,
+                },
+            ],
+            multicast_at: vec![Time(1), Time(2)],
+            delivered: vec![Vec::new(); 3],
+            actions_of: vec![0; 3],
+            quiescent: true,
+        }
+    }
+
+    fn deliver(report: &mut RunReport, p: u32, m: u64, at: u64) {
+        report.delivered[p as usize].push(Delivery {
+            msg: MessageId(m),
+            at: Time(at),
+        });
+    }
+
+    #[test]
+    fn integrity_rejects_double_delivery() {
+        let mut r = base_report();
+        deliver(&mut r, 0, 0, 3);
+        deliver(&mut r, 0, 0, 4);
+        assert_eq!(check_integrity(&r).unwrap_err().property, "integrity");
+    }
+
+    #[test]
+    fn integrity_rejects_non_member_delivery() {
+        let mut r = base_report();
+        deliver(&mut r, 2, 0, 3); // p2 ∉ g1
+        assert_eq!(check_integrity(&r).unwrap_err().property, "integrity");
+    }
+
+    #[test]
+    fn integrity_rejects_delivery_before_multicast() {
+        let mut r = base_report();
+        deliver(&mut r, 0, 0, 0); // before multicast_at = 1
+        assert_eq!(check_integrity(&r).unwrap_err().property, "integrity");
+    }
+
+    #[test]
+    fn ordering_accepts_agreeing_orders() {
+        let mut r = base_report();
+        // p1 ∈ both groups delivers m0 then m1; others consistent.
+        deliver(&mut r, 0, 0, 3);
+        deliver(&mut r, 1, 0, 4);
+        deliver(&mut r, 1, 1, 5);
+        deliver(&mut r, 2, 1, 6);
+        check_integrity(&r).unwrap();
+        check_ordering(&r).unwrap();
+        check_pairwise_ordering(&r).unwrap();
+        check_termination(&r).unwrap();
+    }
+
+    #[test]
+    fn ordering_rejects_two_process_disagreement() {
+        // Two messages both addressed to both overlapping groups? Use a
+        // single group with two members disagreeing on order.
+        let system = topology::single_group(2);
+        let pattern = FailurePattern::all_correct(system.universe());
+        let mut r = RunReport {
+            system,
+            pattern,
+            messages: vec![
+                MessageInfo {
+                    src: ProcessId(0),
+                    group: GroupId(0),
+                    payload: 0,
+                },
+                MessageInfo {
+                    src: ProcessId(1),
+                    group: GroupId(0),
+                    payload: 1,
+                },
+            ],
+            multicast_at: vec![Time(1), Time(2)],
+            delivered: vec![Vec::new(); 2],
+            actions_of: vec![0; 2],
+            quiescent: true,
+        };
+        deliver(&mut r, 0, 0, 3);
+        deliver(&mut r, 0, 1, 4);
+        deliver(&mut r, 1, 1, 3);
+        deliver(&mut r, 1, 0, 4);
+        assert_eq!(check_ordering(&r).unwrap_err().property, "ordering");
+        assert_eq!(
+            check_pairwise_ordering(&r).unwrap_err().property,
+            "pairwise-ordering"
+        );
+    }
+
+    #[test]
+    fn termination_rejects_missing_delivery() {
+        let mut r = base_report();
+        deliver(&mut r, 0, 0, 3); // p1 (correct, ∈ g1) never delivers m0
+        assert_eq!(check_termination(&r).unwrap_err().property, "termination");
+    }
+
+    #[test]
+    fn termination_ignores_undelivered_faulty_multicast() {
+        let mut r = base_report();
+        r.pattern = FailurePattern::from_crashes(
+            r.system.universe(),
+            [(ProcessId(0), Time(2))],
+        );
+        // m0 multicast by p0 (faulty), delivered nowhere: fine.
+        deliver(&mut r, 1, 1, 5);
+        deliver(&mut r, 2, 1, 6);
+        check_termination(&r).unwrap();
+    }
+
+    #[test]
+    fn termination_requires_quiescence() {
+        let mut r = base_report();
+        r.quiescent = false;
+        assert_eq!(check_termination(&r).unwrap_err().property, "termination");
+    }
+
+    #[test]
+    fn minimality_rejects_spurious_steps() {
+        let system = topology::disjoint(2, 2); // g1={p0,p1}, g2={p2,p3}
+        let pattern = FailurePattern::all_correct(system.universe());
+        let mut r = RunReport {
+            system,
+            pattern,
+            messages: vec![MessageInfo {
+                src: ProcessId(0),
+                group: GroupId(0),
+                payload: 0,
+            }],
+            multicast_at: vec![Time(1)],
+            delivered: vec![Vec::new(); 4],
+            actions_of: vec![3, 3, 0, 0],
+            quiescent: true,
+        };
+        deliver(&mut r, 0, 0, 2);
+        deliver(&mut r, 1, 0, 3);
+        check_minimality(&r).unwrap();
+        // p3 (no message addressed) takes a step: violation.
+        r.actions_of[3] = 1;
+        assert_eq!(check_minimality(&r).unwrap_err().property, "minimality");
+    }
+
+    #[test]
+    fn strict_ordering_detects_real_time_inversion() {
+        let mut r = base_report();
+        // m0 delivered at t3 (first delivery); m1 multicast at t2 < t3, so
+        // no ⤳ edge from m0 to m1. Make m1 ⤳-before... build inversion:
+        // m1 delivered everywhere before m0's multicast? multicast_at[0]=1.
+        // Instead: set multicast_at[1] = 10, m1 multicast after m0 delivered
+        // at t3 ⇒ m0 ⤳ m1. If some process delivers m1 "before" m0 in ↦,
+        // we get a cycle.
+        r.multicast_at[1] = Time(10);
+        deliver(&mut r, 0, 0, 3); // m0 delivered at 3 ⇒ m0 ⤳ m1
+        deliver(&mut r, 1, 1, 11); // p1 delivers m1 but never m0 ⇒ m1 ↦_p1 m0
+        deliver(&mut r, 2, 1, 12);
+        assert_eq!(
+            check_strict_ordering(&r).unwrap_err().property,
+            "strict-ordering"
+        );
+        // Plain ordering also fails here? No: ↦ alone has m1 ↦ m0 only — acyclic.
+        check_ordering(&r).unwrap();
+    }
+
+    #[test]
+    fn check_all_on_real_run() {
+        let gs = topology::fig1();
+        let mut rt = crate::Runtime::new(
+            &gs,
+            FailurePattern::all_correct(gs.universe()),
+            crate::RuntimeConfig::default(),
+        );
+        for g in 0..4u32 {
+            let src = gs.members(GroupId(g)).min().unwrap();
+            rt.multicast(src, GroupId(g), g as u64);
+        }
+        let report = rt.run_to_quiescence(1_000_000);
+        check_all(&report, crate::Variant::Standard).unwrap();
+        check_group_sequential(&report).unwrap();
+    }
+
+    #[test]
+    fn group_sequential_detects_out_of_order_delivery() {
+        let system = topology::single_group(2);
+        let pattern = FailurePattern::all_correct(system.universe());
+        let mut r = RunReport {
+            system,
+            pattern,
+            messages: vec![
+                MessageInfo {
+                    src: ProcessId(0),
+                    group: GroupId(0),
+                    payload: 0,
+                },
+                MessageInfo {
+                    src: ProcessId(1),
+                    group: GroupId(0),
+                    payload: 1,
+                },
+            ],
+            multicast_at: vec![Time(1), Time(2)],
+            delivered: vec![Vec::new(); 2],
+            actions_of: vec![0; 2],
+            quiescent: true,
+        };
+        deliver(&mut r, 0, 0, 3);
+        deliver(&mut r, 0, 1, 4);
+        // p1 delivers in the reverse of the submission order
+        deliver(&mut r, 1, 1, 3);
+        deliver(&mut r, 1, 0, 4);
+        assert_eq!(
+            check_group_sequential(&r).unwrap_err().property,
+            "group-sequential"
+        );
+    }
+
+    #[test]
+    fn group_sequential_holds_on_bursty_runtime_run() {
+        let gs = topology::two_overlapping(3, 1);
+        let mut rt = crate::Runtime::new(
+            &gs,
+            FailurePattern::all_correct(gs.universe()),
+            crate::RuntimeConfig {
+                scheduler: crate::ActionScheduler::Random,
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        for i in 0..4u64 {
+            rt.multicast(ProcessId(0), GroupId(0), i);
+            rt.multicast(ProcessId(4), GroupId(1), i);
+        }
+        let report = rt.run_to_quiescence(2_000_000);
+        check_group_sequential(&report).unwrap();
+    }
+}

@@ -1,0 +1,237 @@
+//! Algorithm 2 — emulating `Σ_{∩_{g∈G} g}` from atomic multicast (§5.1).
+//!
+//! For every group `g ∈ G` (with `|G| ≤ 2`, intersecting) and every subset
+//! `x ⊆ g`, the extraction runs an instance `A_{g,x}` of the multicast
+//! black box in which only the processes of `x` participate, each
+//! multicasting its identity to `g`. The subsets whose instance delivers
+//! form `Q_g`, the *responsive* subsets; the emulated quorum at a process of
+//! `∩_g g` is `(∪_g qr_g) ∩ (∩_g g)` where `qr_g` is the most responsive
+//! subset by the ranking function of Bonnet & Raynal: the rank of a process
+//! grows while it is alive, and the rank of a set is the minimum over its
+//! members — so a set ranks ever higher iff all its members are correct.
+
+use crate::blackbox::BlackBox;
+use gam_groups::{GroupId, GroupSystem};
+use gam_kernel::{FailurePattern, ProcessId, ProcessSet, Time};
+
+/// The Σ extraction of Algorithm 2.
+#[derive(Debug)]
+pub struct SigmaExtraction {
+    pattern: FailurePattern,
+    groups: Vec<GroupId>,
+    members: Vec<ProcessSet>,
+    /// `A_{g,x}` instances: (group index in `groups`, subset, box).
+    instances: Vec<(usize, ProcessSet, BlackBox)>,
+    now: Time,
+}
+
+impl SigmaExtraction {
+    /// Builds the extraction for `G = groups` (one group, or two
+    /// intersecting groups).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty, has more than two elements, lists
+    /// non-intersecting groups, or a group has more than 16 members (the
+    /// subset enumeration is exponential).
+    pub fn new(system: &GroupSystem, pattern: FailurePattern, groups: &[GroupId]) -> Self {
+        assert!(
+            (1..=2).contains(&groups.len()),
+            "G is one group or two intersecting groups"
+        );
+        if groups.len() == 2 {
+            assert!(
+                system.intersecting(groups[0], groups[1]),
+                "the two groups must intersect"
+            );
+        }
+        let members: Vec<ProcessSet> = groups.iter().map(|g| system.members(*g)).collect();
+        let mut instances = Vec::new();
+        for (gi, g) in groups.iter().enumerate() {
+            let m: Vec<ProcessId> = members[gi].iter().collect();
+            assert!(m.len() <= 16, "subset enumeration caps at 16 members");
+            for mask in 1u32..(1u32 << m.len()) {
+                let x: ProcessSet = m
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, p)| *p)
+                    .collect();
+                let mut bb = BlackBox::new(system, pattern.clone(), x);
+                // lines 5–7: every p ∈ x multicasts its identity to g.
+                for p in x {
+                    bb.multicast(p, *g, Time::ZERO);
+                }
+                instances.push((gi, x, bb));
+            }
+        }
+        SigmaExtraction {
+            pattern,
+            groups: groups.to_vec(),
+            members,
+            instances,
+            now: Time::ZERO,
+        }
+    }
+
+    /// `∩_{g∈G} g`.
+    pub fn scope(&self) -> ProcessSet {
+        self.members
+            .iter()
+            .copied()
+            .reduce(|a, b| a & b)
+            .expect("non-empty G")
+    }
+
+    /// Advances every instance to time `now`.
+    pub fn advance(&mut self, now: Time) {
+        self.now = self.now.max(now);
+        for (_, _, bb) in &mut self.instances {
+            bb.advance(now);
+        }
+    }
+
+    /// The rank of a process at `t`: its count of "alive" messages — it
+    /// grows forever iff the process is correct.
+    fn rank_of(&self, p: ProcessId, t: Time) -> u64 {
+        match self.pattern.crash_time(p) {
+            Some(c) if c <= t => c.0,
+            _ => t.0,
+        }
+    }
+
+    /// The rank of a set: the lowest rank among its members.
+    fn rank(&self, x: ProcessSet, t: Time) -> u64 {
+        x.iter().map(|p| self.rank_of(p, t)).min().unwrap_or(0)
+    }
+
+    /// `Q_g` at the current time: `{g} ∪ {x : A_{g,x} delivered}` (line 3 +
+    /// line 9).
+    fn responsive(&self, gi: usize, t: Time) -> Vec<ProcessSet> {
+        let mut q = vec![self.members[gi]];
+        for (i, x, bb) in &self.instances {
+            if *i == gi && bb.any_delivered(t) && !q.contains(x) {
+                q.push(*x);
+            }
+        }
+        q
+    }
+
+    /// The emulated `Σ_{∩g}` output at `(p, t)` (lines 10–15): `⊥` outside
+    /// `∩_g g`, otherwise `(∪_g qr_g) ∩ (∩_g g)`.
+    pub fn quorum(&self, p: ProcessId, t: Time) -> Option<ProcessSet> {
+        if !self.scope().contains(p) {
+            return None;
+        }
+        let mut union = ProcessSet::EMPTY;
+        for gi in 0..self.groups.len() {
+            // line 14: qr_g ← choose argmax rank(y); ties break towards the
+            // largest set, then lexicographically — deterministic.
+            let qr = self
+                .responsive(gi, t)
+                .into_iter()
+                .max_by_key(|x| (self.rank(*x, t), x.len(), *x))
+                .expect("Q_g contains g");
+            union |= qr;
+        }
+        Some(union & self.scope())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gam_detectors::validate::validate_sigma;
+    use gam_groups::topology;
+
+    fn drive(ext: &mut SigmaExtraction, horizon: u64) {
+        for t in 0..=horizon {
+            ext.advance(Time(t));
+        }
+    }
+
+    #[test]
+    fn emulates_sigma_on_two_overlapping_groups_all_correct() {
+        let gs = topology::two_overlapping(3, 2); // g∩h = {p2,p3}
+        let pattern = FailurePattern::all_correct(gs.universe());
+        let mut ext = SigmaExtraction::new(&gs, pattern.clone(), &[GroupId(0), GroupId(1)]);
+        drive(&mut ext, 60);
+        validate_sigma(
+            |p, t| ext.quorum(p, t),
+            &pattern,
+            ext.scope(),
+            Time(30),
+            Time(60),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn emulates_sigma_under_crashes() {
+        let gs = topology::two_overlapping(3, 2);
+        // one member of each side and one of the intersection crash
+        let pattern = FailurePattern::from_crashes(
+            gs.universe(),
+            [(ProcessId(0), Time(5)), (ProcessId(2), Time(9))],
+        );
+        let mut ext = SigmaExtraction::new(&gs, pattern.clone(), &[GroupId(0), GroupId(1)]);
+        drive(&mut ext, 80);
+        validate_sigma(
+            |p, t| ext.quorum(p, t),
+            &pattern,
+            ext.scope(),
+            Time(40),
+            Time(80),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn eventually_returns_exactly_the_correct_intersection() {
+        let gs = topology::two_overlapping(3, 2); // g∩h = {p1,p2}
+        let pattern =
+            FailurePattern::from_crashes(gs.universe(), [(ProcessId(2), Time(4))]);
+        let mut ext = SigmaExtraction::new(&gs, pattern.clone(), &[GroupId(0), GroupId(1)]);
+        drive(&mut ext, 100);
+        // p1 is the only correct process of the intersection.
+        let q = ext.quorum(ProcessId(1), Time(100)).unwrap();
+        assert_eq!(q, ProcessSet::from_iter([1u32]));
+    }
+
+    #[test]
+    fn single_group_emulates_sigma_g() {
+        let gs = topology::single_group(4);
+        let pattern =
+            FailurePattern::from_crashes(gs.universe(), [(ProcessId(1), Time(6))]);
+        let mut ext = SigmaExtraction::new(&gs, pattern.clone(), &[GroupId(0)]);
+        drive(&mut ext, 80);
+        validate_sigma(
+            |p, t| ext.quorum(p, t),
+            &pattern,
+            gs.members(GroupId(0)),
+            Time(40),
+            Time(80),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn bot_outside_the_intersection() {
+        let gs = topology::two_overlapping(3, 1);
+        let pattern = FailurePattern::all_correct(gs.universe());
+        let ext = SigmaExtraction::new(&gs, pattern, &[GroupId(0), GroupId(1)]);
+        assert_eq!(ext.quorum(ProcessId(0), Time(0)), None); // p0 ∈ g only
+        assert!(ext.quorum(ProcessId(2), Time(0)).is_some()); // p2 = g∩h
+    }
+
+    #[test]
+    #[should_panic(expected = "must intersect")]
+    fn rejects_disjoint_groups() {
+        let gs = topology::disjoint(2, 2);
+        SigmaExtraction::new(
+            &gs,
+            FailurePattern::all_correct(gs.universe()),
+            &[GroupId(0), GroupId(1)],
+        );
+    }
+}

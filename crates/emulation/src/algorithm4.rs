@@ -1,0 +1,182 @@
+//! Algorithm 4 — emulating the indicator `1^{g∩h}` from *strict* atomic
+//! multicast (§6.1).
+//!
+//! Two instances of the strict algorithm run side by side: `A_g` among the
+//! processes of `g \ h` and `A_h` among `h \ g`. Each participant multicasts
+//! its identity in its instance and waits for a delivery; since a strict
+//! (realistic) algorithm cannot deliver while the processes of `g ∩ h` might
+//! still be alive (Proposition 53's gluing argument), a delivery certifies
+//! that `g ∩ h` has crashed — the participant then broadcasts `failed` to
+//! `g ∪ h`.
+
+use crate::blackbox::BlackBox;
+use gam_groups::{GroupId, GroupSystem};
+use gam_kernel::{FailurePattern, ProcessId, ProcessSet, Time};
+
+/// The `1^{g∩h}` extraction of Algorithm 4.
+#[derive(Debug)]
+pub struct IndicatorExtraction {
+    monitored: ProcessSet,
+    scope: ProcessSet,
+    pattern: FailurePattern,
+    instance_g: BlackBox,
+    instance_h: BlackBox,
+    /// The time at which `failed` was first broadcast, if ever.
+    failed_at: Option<Time>,
+}
+
+impl IndicatorExtraction {
+    /// Builds the extraction for the intersecting pair `(g, h)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the groups do not intersect.
+    pub fn new(system: &GroupSystem, pattern: FailurePattern, g: GroupId, h: GroupId) -> Self {
+        assert!(system.intersecting(g, h), "{g} and {h} must intersect");
+        let (mg, mh) = (system.members(g), system.members(h));
+        let mut instance_g = BlackBox::new(system, pattern.clone(), mg - mh);
+        let mut instance_h = BlackBox::new(system, pattern.clone(), mh - mg);
+        // lines 4–5: every participant multicasts its identity.
+        for p in mg - mh {
+            instance_g.multicast(p, g, Time::ZERO);
+        }
+        for p in mh - mg {
+            instance_h.multicast(p, h, Time::ZERO);
+        }
+        IndicatorExtraction {
+            monitored: mg & mh,
+            scope: mg | mh,
+            pattern,
+            instance_g,
+            instance_h,
+            failed_at: None,
+        }
+    }
+
+    /// The monitored set `g ∩ h`.
+    pub fn monitored(&self) -> ProcessSet {
+        self.monitored
+    }
+
+    /// Advances both instances; a delivery at a live participant raises
+    /// `failed` (lines 6–9).
+    pub fn advance(&mut self, now: Time) {
+        self.instance_g.advance(now);
+        self.instance_h.advance(now);
+        if self.failed_at.is_none() {
+            let crashed = self.pattern.faulty_at(now);
+            let live_g = self.instance_g.participants() - crashed;
+            let live_h = self.instance_h.participants() - crashed;
+            let g_fired = self.instance_g.any_delivered(now) && !live_g.is_empty();
+            let h_fired = self.instance_h.any_delivered(now) && !live_h.is_empty();
+            if g_fired || h_fired {
+                self.failed_at = Some(now);
+            }
+        }
+    }
+
+    /// The emulated `1^{g∩h}(p, t)`: `⊥` outside `g ∪ h`, else whether a
+    /// `failed` broadcast had been received by `t`.
+    pub fn indicates(&self, p: ProcessId, t: Time) -> Option<bool> {
+        if !self.scope.contains(p) {
+            return None;
+        }
+        Some(self.failed_at.is_some_and(|f| f <= t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gam_detectors::validate::validate_indicator;
+    use gam_groups::topology;
+
+    fn drive(ext: &mut IndicatorExtraction, horizon: u64) {
+        for t in 0..=horizon {
+            ext.advance(Time(t));
+        }
+    }
+
+    #[test]
+    fn never_fires_while_intersection_alive() {
+        let gs = topology::two_overlapping(3, 1); // g∩h = {p2}
+        let pattern = FailurePattern::all_correct(gs.universe());
+        let mut ext = IndicatorExtraction::new(&gs, pattern.clone(), GroupId(0), GroupId(1));
+        drive(&mut ext, 50);
+        for t in 0..=50u64 {
+            assert_eq!(ext.indicates(ProcessId(0), Time(t)), Some(false));
+        }
+    }
+
+    #[test]
+    fn fires_after_intersection_crashes() {
+        let gs = topology::two_overlapping(3, 2); // g∩h = {p1,p2}
+        let pattern = FailurePattern::from_crashes(
+            gs.universe(),
+            [(ProcessId(1), Time(4)), (ProcessId(2), Time(9))],
+        );
+        let mut ext = IndicatorExtraction::new(&gs, pattern.clone(), GroupId(0), GroupId(1));
+        drive(&mut ext, 60);
+        // accurate and complete per the class validator
+        validate_indicator(
+            |p, t| ext.indicates(p, t),
+            &pattern,
+            ext.monitored(),
+            gs.members(GroupId(0)) | gs.members(GroupId(1)),
+            Time(30),
+            Time(60),
+        )
+        .unwrap();
+        // not before the last member dies, true after
+        assert_eq!(ext.indicates(ProcessId(0), Time(8)), Some(false));
+        assert_eq!(ext.indicates(ProcessId(0), Time(60)), Some(true));
+    }
+
+    #[test]
+    fn validator_passes_in_failure_free_run() {
+        let gs = topology::two_overlapping(4, 2);
+        let pattern = FailurePattern::all_correct(gs.universe());
+        let mut ext = IndicatorExtraction::new(&gs, pattern.clone(), GroupId(0), GroupId(1));
+        drive(&mut ext, 40);
+        validate_indicator(
+            |p, t| ext.indicates(p, t),
+            &pattern,
+            ext.monitored(),
+            gs.members(GroupId(0)) | gs.members(GroupId(1)),
+            Time(20),
+            Time(40),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn bot_outside_scope() {
+        // add a process outside g∪h
+        let gs = GroupSystem::new(
+            ProcessSet::first_n(4),
+            vec![
+                ProcessSet::from_iter([0u32, 1]),
+                ProcessSet::from_iter([1u32, 2]),
+            ],
+        );
+        let ext = IndicatorExtraction::new(
+            &gs,
+            FailurePattern::all_correct(gs.universe()),
+            GroupId(0),
+            GroupId(1),
+        );
+        assert_eq!(ext.indicates(ProcessId(3), Time(0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must intersect")]
+    fn rejects_disjoint_pair() {
+        let gs = topology::disjoint(2, 2);
+        IndicatorExtraction::new(
+            &gs,
+            FailurePattern::all_correct(gs.universe()),
+            GroupId(0),
+            GroupId(1),
+        );
+    }
+}

@@ -1,0 +1,476 @@
+//! Destination groups and the group system `𝒢`.
+//!
+//! Atomic multicast is fully determined by the set `𝒢` of destination groups
+//! (§2.2): every message `m` is addressed to some `dst(m) ∈ 𝒢`, and under the
+//! closed dissemination model any member of a group may multicast to it. A
+//! [`GroupSystem`] holds `𝒢` and answers the intersection queries the paper's
+//! constructions are built from.
+
+use gam_kernel::{ProcessId, ProcessSet};
+use std::fmt;
+
+/// The identity of a destination group: an index into the [`GroupSystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GroupId(pub u32);
+
+impl GroupId {
+    /// Returns the index of this group as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0 + 1)
+    }
+}
+
+impl From<usize> for GroupId {
+    fn from(v: usize) -> Self {
+        GroupId(v as u32)
+    }
+}
+
+/// A set of groups, as a 64-bit bitset over group indices.
+///
+/// Families of destination groups (§3) are [`GroupSet`]s; so are the edges of
+/// closed paths once projected to their endpoints.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GroupSet(pub u64);
+
+impl GroupSet {
+    /// The empty set of groups.
+    pub const EMPTY: GroupSet = GroupSet(0);
+
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        GroupSet(0)
+    }
+
+    /// The set of the first `n` groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= 64);
+        if n == 64 {
+            GroupSet(u64::MAX)
+        } else {
+            GroupSet((1u64 << n) - 1)
+        }
+    }
+
+    /// A singleton set.
+    pub fn singleton(g: GroupId) -> Self {
+        GroupSet(1u64 << g.index())
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, g: GroupId) -> bool {
+        self.0 & (1u64 << g.index()) != 0
+    }
+
+    /// Inserts `g`, returning whether it was absent.
+    pub fn insert(&mut self, g: GroupId) -> bool {
+        let had = self.contains(g);
+        self.0 |= 1u64 << g.index();
+        !had
+    }
+
+    /// Removes `g`, returning whether it was present.
+    pub fn remove(&mut self, g: GroupId) -> bool {
+        let had = self.contains(g);
+        self.0 &= !(1u64 << g.index());
+        had
+    }
+
+    /// Number of groups in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Emptiness test.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Subset test (`self ⊆ other`).
+    #[inline]
+    pub fn is_subset(self, other: GroupSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Intersection test.
+    #[inline]
+    pub fn intersects(self, other: GroupSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// The minimum group of the set, if any.
+    pub fn min(self) -> Option<GroupId> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(GroupId(self.0.trailing_zeros()))
+        }
+    }
+
+    /// Iterates over the groups in ascending order.
+    pub fn iter(self) -> GroupSetIter {
+        GroupSetIter(self.0)
+    }
+}
+
+impl fmt::Debug for GroupSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, g) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{g}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for GroupSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Iterator over a [`GroupSet`] in ascending index order.
+#[derive(Debug, Clone)]
+pub struct GroupSetIter(u64);
+
+impl Iterator for GroupSetIter {
+    type Item = GroupId;
+
+    fn next(&mut self) -> Option<GroupId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let idx = self.0.trailing_zeros();
+            self.0 &= self.0 - 1;
+            Some(GroupId(idx))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for GroupSetIter {}
+
+impl IntoIterator for GroupSet {
+    type Item = GroupId;
+    type IntoIter = GroupSetIter;
+    fn into_iter(self) -> GroupSetIter {
+        self.iter()
+    }
+}
+
+impl FromIterator<GroupId> for GroupSet {
+    fn from_iter<I: IntoIterator<Item = GroupId>>(iter: I) -> Self {
+        let mut s = GroupSet::new();
+        for g in iter {
+            s.insert(g);
+        }
+        s
+    }
+}
+
+impl std::ops::BitOr for GroupSet {
+    type Output = GroupSet;
+    fn bitor(self, rhs: GroupSet) -> GroupSet {
+        GroupSet(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitOrAssign for GroupSet {
+    fn bitor_assign(&mut self, rhs: GroupSet) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl std::ops::BitAnd for GroupSet {
+    type Output = GroupSet;
+    fn bitand(self, rhs: GroupSet) -> GroupSet {
+        GroupSet(self.0 & rhs.0)
+    }
+}
+
+impl std::ops::Sub for GroupSet {
+    type Output = GroupSet;
+    fn sub(self, rhs: GroupSet) -> GroupSet {
+        GroupSet(self.0 & !rhs.0)
+    }
+}
+
+/// The set `𝒢` of destination groups over a universe of processes.
+///
+/// # Examples
+///
+/// The Figure 1 system of the paper:
+///
+/// ```
+/// use gam_groups::GroupSystem;
+/// use gam_kernel::ProcessSet;
+///
+/// let gs = GroupSystem::new(
+///     ProcessSet::first_n(5),
+///     vec![
+///         ProcessSet::from_iter([0u32, 1]),       // g1 = {p1, p2}
+///         ProcessSet::from_iter([1u32, 2]),       // g2 = {p2, p3}
+///         ProcessSet::from_iter([0u32, 2, 3]),    // g3 = {p1, p3, p4}
+///         ProcessSet::from_iter([0u32, 3, 4]),    // g4 = {p1, p4, p5}
+///     ],
+/// );
+/// assert_eq!(gs.len(), 4);
+/// assert_eq!(gs.cyclic_families().len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupSystem {
+    universe: ProcessSet,
+    groups: Vec<ProcessSet>,
+}
+
+impl GroupSystem {
+    /// Builds a group system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any group is empty, not a subset of the universe, or listed
+    /// twice, or if there are more than 64 groups.
+    pub fn new(universe: ProcessSet, groups: Vec<ProcessSet>) -> Self {
+        assert!(groups.len() <= 64, "at most 64 destination groups");
+        for (i, g) in groups.iter().enumerate() {
+            assert!(!g.is_empty(), "group g{} is empty", i + 1);
+            assert!(
+                g.is_subset(universe),
+                "group g{} is not within the universe",
+                i + 1
+            );
+            assert!(
+                !groups[..i].contains(g),
+                "group g{} is listed twice",
+                i + 1
+            );
+        }
+        GroupSystem { universe, groups }
+    }
+
+    /// The universe of processes.
+    pub fn universe(&self) -> ProcessSet {
+        self.universe
+    }
+
+    /// Number of destination groups `|𝒢|`.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Returns `true` if there are no groups.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The members of group `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn members(&self, g: GroupId) -> ProcessSet {
+        self.groups[g.index()]
+    }
+
+    /// Iterates over all `(GroupId, members)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (GroupId, ProcessSet)> + '_ {
+        self.groups
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GroupId(i as u32), *g))
+    }
+
+    /// All group ids, as a set.
+    pub fn all(&self) -> GroupSet {
+        GroupSet::first_n(self.groups.len())
+    }
+
+    /// `𝒢(p)`: the groups containing process `p`.
+    pub fn groups_of(&self, p: ProcessId) -> GroupSet {
+        self.iter()
+            .filter(|(_, members)| members.contains(p))
+            .map(|(g, _)| g)
+            .collect()
+    }
+
+    /// `g ∩ h` as a process set.
+    pub fn intersection(&self, g: GroupId, h: GroupId) -> ProcessSet {
+        self.members(g) & self.members(h)
+    }
+
+    /// Returns `true` if `g` and `h` are distinct intersecting groups.
+    pub fn intersecting(&self, g: GroupId, h: GroupId) -> bool {
+        g != h && self.intersection(g, h) != ProcessSet::EMPTY
+    }
+
+    /// All unordered pairs `(g, h)` of distinct intersecting groups — the
+    /// edges of the intersection graph of `𝒢`.
+    pub fn intersecting_pairs(&self) -> Vec<(GroupId, GroupId)> {
+        let mut out = Vec::new();
+        for i in 0..self.groups.len() {
+            for j in (i + 1)..self.groups.len() {
+                let (g, h) = (GroupId(i as u32), GroupId(j as u32));
+                if self.intersecting(g, h) {
+                    out.push((g, h));
+                }
+            }
+        }
+        out
+    }
+
+    /// All distinct non-empty intersections `g ∩ h` with `g ≠ h`, deduplicated.
+    pub fn intersections(&self) -> Vec<ProcessSet> {
+        let mut out: Vec<ProcessSet> = Vec::new();
+        for (g, h) in self.intersecting_pairs() {
+            let x = self.intersection(g, h);
+            if !out.contains(&x) {
+                out.push(x);
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if the groups are pairwise disjoint (the embarrassingly
+    /// parallel case of §2.3).
+    pub fn pairwise_disjoint(&self) -> bool {
+        self.intersecting_pairs().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 1 system: 5 processes, 4 groups.
+    pub(crate) fn fig1() -> GroupSystem {
+        GroupSystem::new(
+            ProcessSet::first_n(5),
+            vec![
+                ProcessSet::from_iter([0u32, 1]),
+                ProcessSet::from_iter([1u32, 2]),
+                ProcessSet::from_iter([0u32, 2, 3]),
+                ProcessSet::from_iter([0u32, 3, 4]),
+            ],
+        )
+    }
+
+    #[test]
+    fn groups_of_matches_fig1() {
+        let gs = fig1();
+        // p1 (index 0) belongs to g1, g3, g4.
+        assert_eq!(
+            gs.groups_of(ProcessId(0)),
+            GroupSet::from_iter([GroupId(0), GroupId(2), GroupId(3)])
+        );
+        // p5 (index 4) belongs only to g4.
+        assert_eq!(gs.groups_of(ProcessId(4)), GroupSet::singleton(GroupId(3)));
+    }
+
+    #[test]
+    fn intersections_match_fig1() {
+        let gs = fig1();
+        // g1 ∩ g2 = {p2}
+        assert_eq!(
+            gs.intersection(GroupId(0), GroupId(1)),
+            ProcessSet::from_iter([1u32])
+        );
+        // g2 ∩ g4 = ∅
+        assert!(!gs.intersecting(GroupId(1), GroupId(3)));
+        // edges of the intersection graph: all pairs except (g2,g4)
+        let edges = gs.intersecting_pairs();
+        assert_eq!(edges.len(), 5);
+        assert!(!edges.contains(&(GroupId(1), GroupId(3))));
+    }
+
+    #[test]
+    fn dedup_intersections() {
+        let gs = GroupSystem::new(
+            ProcessSet::first_n(4),
+            vec![
+                ProcessSet::from_iter([0u32, 1]),
+                ProcessSet::from_iter([1u32, 2]),
+                ProcessSet::from_iter([1u32, 3]),
+            ],
+        );
+        // all three pairwise intersections are {p2}
+        assert_eq!(gs.intersections(), vec![ProcessSet::from_iter([1u32])]);
+    }
+
+    #[test]
+    fn disjoint_groups_have_no_edges() {
+        let gs = GroupSystem::new(
+            ProcessSet::first_n(6),
+            vec![
+                ProcessSet::from_iter([0u32, 1]),
+                ProcessSet::from_iter([2u32, 3]),
+                ProcessSet::from_iter([4u32, 5]),
+            ],
+        );
+        assert!(gs.pairwise_disjoint());
+        assert!(gs.intersections().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "is empty")]
+    fn rejects_empty_group() {
+        GroupSystem::new(ProcessSet::first_n(2), vec![ProcessSet::EMPTY]);
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn rejects_duplicate_group() {
+        let g = ProcessSet::from_iter([0u32, 1]);
+        GroupSystem::new(ProcessSet::first_n(2), vec![g, g]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not within the universe")]
+    fn rejects_group_outside_universe() {
+        GroupSystem::new(
+            ProcessSet::first_n(2),
+            vec![ProcessSet::from_iter([0u32, 5])],
+        );
+    }
+
+    #[test]
+    fn group_set_algebra() {
+        let a = GroupSet::from_iter([GroupId(0), GroupId(2)]);
+        let b = GroupSet::from_iter([GroupId(2), GroupId(3)]);
+        assert_eq!((a | b).len(), 3);
+        assert_eq!(a & b, GroupSet::singleton(GroupId(2)));
+        assert_eq!(a - b, GroupSet::singleton(GroupId(0)));
+        assert!(a.intersects(b));
+        assert!(GroupSet::singleton(GroupId(2)).is_subset(a));
+        assert_eq!(a.min(), Some(GroupId(0)));
+        assert_eq!(GroupSet::EMPTY.min(), None);
+        let v: Vec<GroupId> = b.iter().collect();
+        assert_eq!(v, vec![GroupId(2), GroupId(3)]);
+    }
+
+    #[test]
+    fn group_set_display() {
+        let a = GroupSet::from_iter([GroupId(0), GroupId(2)]);
+        assert_eq!(format!("{a}"), "{g1,g3}");
+    }
+}

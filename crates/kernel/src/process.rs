@@ -1,0 +1,399 @@
+//! Process identities and sets of processes.
+//!
+//! The paper assumes a finite set of processes `P = {p_1, ..., p_n}`. We
+//! represent a process by a small integer index ([`ProcessId`]) and a set of
+//! processes by a 128-bit bitset ([`ProcessSet`]), which makes the
+//! intersection-heavy group machinery (`g ∩ h`, quorum checks, family
+//! faultiness) O(1).
+
+use std::fmt;
+
+/// Maximum number of processes supported by [`ProcessSet`].
+pub const MAX_PROCESSES: usize = 128;
+
+/// The identity of a process, an index in `0..MAX_PROCESSES`.
+///
+/// # Examples
+///
+/// ```
+/// use gam_kernel::ProcessId;
+/// let p = ProcessId(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessId(pub u32);
+
+impl ProcessId {
+    /// Returns the index of this process as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(v: u32) -> Self {
+        ProcessId(v)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(v: usize) -> Self {
+        assert!(v < MAX_PROCESSES, "process index {v} out of range");
+        ProcessId(v as u32)
+    }
+}
+
+/// A set of processes, represented as a 128-bit bitset.
+///
+/// Implements the set algebra used throughout the paper: union (`|`),
+/// intersection (`&`), difference (`-`), symmetric difference (`^`) and the
+/// subset/superset predicates.
+///
+/// # Examples
+///
+/// ```
+/// use gam_kernel::{ProcessId, ProcessSet};
+/// let g: ProcessSet = [0u32, 1, 2].into_iter().collect();
+/// let h: ProcessSet = [2u32, 3].into_iter().collect();
+/// assert_eq!(g & h, ProcessSet::from_iter([2u32]));
+/// assert!(g.contains(ProcessId(1)));
+/// assert_eq!((g | h).len(), 4);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessSet(pub u128);
+
+impl ProcessSet {
+    /// The empty set.
+    pub const EMPTY: ProcessSet = ProcessSet(0);
+
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        ProcessSet(0)
+    }
+
+    /// Creates the set `{p_0, ..., p_{n-1}}` of the first `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_PROCESSES`.
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= MAX_PROCESSES, "at most {MAX_PROCESSES} processes");
+        if n == MAX_PROCESSES {
+            ProcessSet(u128::MAX)
+        } else {
+            ProcessSet((1u128 << n) - 1)
+        }
+    }
+
+    /// Creates a singleton set.
+    pub fn singleton(p: ProcessId) -> Self {
+        ProcessSet(1u128 << p.index())
+    }
+
+    /// Returns `true` if the set contains `p`.
+    #[inline]
+    pub fn contains(self, p: ProcessId) -> bool {
+        self.0 & (1u128 << p.index()) != 0
+    }
+
+    /// Inserts `p`, returning `true` if it was not already present.
+    pub fn insert(&mut self, p: ProcessId) -> bool {
+        let had = self.contains(p);
+        self.0 |= 1u128 << p.index();
+        !had
+    }
+
+    /// Removes `p`, returning `true` if it was present.
+    pub fn remove(&mut self, p: ProcessId) -> bool {
+        let had = self.contains(p);
+        self.0 &= !(1u128 << p.index());
+        had
+    }
+
+    /// Number of processes in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Returns `true` if the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if `self ⊆ other`.
+    #[inline]
+    pub fn is_subset(self, other: ProcessSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Returns `true` if `self ⊇ other`.
+    #[inline]
+    pub fn is_superset(self, other: ProcessSet) -> bool {
+        other.is_subset(self)
+    }
+
+    /// Returns `true` if the two sets intersect (`self ∩ other ≠ ∅`).
+    #[inline]
+    pub fn intersects(self, other: ProcessSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// The minimum process in the set, if any.
+    pub fn min(self) -> Option<ProcessId> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(ProcessId(self.0.trailing_zeros()))
+        }
+    }
+
+    /// The maximum process in the set, if any.
+    pub fn max(self) -> Option<ProcessId> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(ProcessId(127 - self.0.leading_zeros()))
+        }
+    }
+
+    /// Iterates over the processes in ascending order.
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+}
+
+impl fmt::Debug for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Iterator over the processes of a [`ProcessSet`] in ascending order.
+#[derive(Debug, Clone)]
+pub struct Iter(u128);
+
+impl Iterator for Iter {
+    type Item = ProcessId;
+
+    fn next(&mut self) -> Option<ProcessId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let idx = self.0.trailing_zeros();
+            self.0 &= self.0 - 1;
+            Some(ProcessId(idx))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl IntoIterator for ProcessSet {
+    type Item = ProcessId;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+impl FromIterator<ProcessId> for ProcessSet {
+    fn from_iter<I: IntoIterator<Item = ProcessId>>(iter: I) -> Self {
+        let mut s = ProcessSet::new();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl FromIterator<u32> for ProcessSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        iter.into_iter().map(ProcessId).collect()
+    }
+}
+
+impl FromIterator<usize> for ProcessSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        iter.into_iter().map(ProcessId::from).collect()
+    }
+}
+
+impl Extend<ProcessId> for ProcessSet {
+    fn extend<I: IntoIterator<Item = ProcessId>>(&mut self, iter: I) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+impl std::ops::BitOr for ProcessSet {
+    type Output = ProcessSet;
+    fn bitor(self, rhs: ProcessSet) -> ProcessSet {
+        ProcessSet(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitOrAssign for ProcessSet {
+    fn bitor_assign(&mut self, rhs: ProcessSet) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl std::ops::BitAnd for ProcessSet {
+    type Output = ProcessSet;
+    fn bitand(self, rhs: ProcessSet) -> ProcessSet {
+        ProcessSet(self.0 & rhs.0)
+    }
+}
+
+impl std::ops::BitAndAssign for ProcessSet {
+    fn bitand_assign(&mut self, rhs: ProcessSet) {
+        self.0 &= rhs.0;
+    }
+}
+
+impl std::ops::BitXor for ProcessSet {
+    type Output = ProcessSet;
+    fn bitxor(self, rhs: ProcessSet) -> ProcessSet {
+        ProcessSet(self.0 ^ rhs.0)
+    }
+}
+
+impl std::ops::Sub for ProcessSet {
+    type Output = ProcessSet;
+    fn sub(self, rhs: ProcessSet) -> ProcessSet {
+        ProcessSet(self.0 & !rhs.0)
+    }
+}
+
+impl std::ops::SubAssign for ProcessSet {
+    fn sub_assign(&mut self, rhs: ProcessSet) {
+        self.0 &= !rhs.0;
+    }
+}
+
+impl From<ProcessId> for ProcessSet {
+    fn from(p: ProcessId) -> Self {
+        ProcessSet::singleton(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_contains_only_itself() {
+        let s = ProcessSet::singleton(ProcessId(5));
+        assert!(s.contains(ProcessId(5)));
+        assert!(!s.contains(ProcessId(4)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn first_n_has_n_elements() {
+        for n in [0usize, 1, 5, 64, 127, 128] {
+            let s = ProcessSet::first_n(n);
+            assert_eq!(s.len(), n);
+            if n > 0 {
+                assert!(s.contains(ProcessId(0)));
+                assert!(s.contains(ProcessId((n - 1) as u32)));
+            }
+            if n < MAX_PROCESSES {
+                assert!(!s.contains(ProcessId(n as u32)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn first_n_rejects_oversize() {
+        let _ = ProcessSet::first_n(129);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let g: ProcessSet = [0u32, 1, 2].into_iter().collect();
+        let h: ProcessSet = [2u32, 3, 4].into_iter().collect();
+        assert_eq!(g & h, ProcessSet::from_iter([2u32]));
+        assert_eq!(g | h, ProcessSet::first_n(5));
+        assert_eq!(g - h, ProcessSet::from_iter([0u32, 1]));
+        assert_eq!(g ^ h, ProcessSet::from_iter([0u32, 1, 3, 4]));
+        assert!(g.intersects(h));
+        assert!(!(g - h).intersects(h));
+    }
+
+    #[test]
+    fn subset_superset() {
+        let g: ProcessSet = [0u32, 1, 2].into_iter().collect();
+        let h: ProcessSet = [1u32, 2].into_iter().collect();
+        assert!(h.is_subset(g));
+        assert!(g.is_superset(h));
+        assert!(!g.is_subset(h));
+        assert!(ProcessSet::EMPTY.is_subset(h));
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let s: ProcessSet = [9u32, 3, 127, 0].into_iter().collect();
+        let v: Vec<u32> = s.iter().map(|p| p.0).collect();
+        assert_eq!(v, vec![0, 3, 9, 127]);
+        assert_eq!(s.iter().len(), 4);
+    }
+
+    #[test]
+    fn min_max() {
+        let s: ProcessSet = [9u32, 3, 127].into_iter().collect();
+        assert_eq!(s.min(), Some(ProcessId(3)));
+        assert_eq!(s.max(), Some(ProcessId(127)));
+        assert_eq!(ProcessSet::EMPTY.min(), None);
+        assert_eq!(ProcessSet::EMPTY.max(), None);
+    }
+
+    #[test]
+    fn insert_remove() {
+        let mut s = ProcessSet::new();
+        assert!(s.insert(ProcessId(7)));
+        assert!(!s.insert(ProcessId(7)));
+        assert!(s.remove(ProcessId(7)));
+        assert!(!s.remove(ProcessId(7)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        let s: ProcessSet = [1u32, 2].into_iter().collect();
+        assert_eq!(format!("{s}"), "{p1,p2}");
+        assert_eq!(format!("{s:?}"), "{p1,p2}");
+        assert_eq!(format!("{:?}", ProcessSet::EMPTY), "{}");
+    }
+}

@@ -1,0 +1,70 @@
+//! A guided tour of the failure detectors of the paper, on the Figure 1
+//! system: `Σ_P`, `Ω_P`, `γ`, `1^P`, and the candidate `μ`.
+//!
+//! Reproduces the §3 worked example: `Correct = {p1, p4, p5}` (in the
+//! paper's 1-based naming) — our `p0, p3, p4` — and shows each detector's
+//! output stream around the crashes.
+//!
+//! Run with: `cargo run --example detector_tour`
+
+use genuine_multicast::prelude::*;
+use gam_detectors::{IndicatorMode, OmegaMode, SigmaMode};
+
+fn main() {
+    let gs = topology::fig1();
+    // p2 and p3 (indices 1, 2) crash: Correct = {p0, p3, p4}.
+    let pattern = FailurePattern::from_crashes(
+        gs.universe(),
+        [(ProcessId(1), Time(5)), (ProcessId(2), Time(9))],
+    );
+    println!("pattern: {pattern}");
+
+    // Σ over the whole system: quorums shrink as crashes occur, always
+    // pairwise intersecting.
+    let sigma = SigmaOracle::new(gs.universe(), pattern.clone(), SigmaMode::Alive);
+    println!("\nΣ at p0 over time:");
+    for t in [0u64, 5, 9, 12] {
+        println!("  t{t}: {:?}", sigma.quorum(ProcessId(0), Time(t)).unwrap());
+    }
+
+    // Ω restricted to g3 = {p0, p2, p3}: once p2 dies, the leader settles.
+    let omega = OmegaOracle::new(
+        gs.members(GroupId(2)),
+        pattern.clone(),
+        OmegaMode::RotateUntil {
+            stabilize_at: Time(10),
+            period: 2,
+        },
+    );
+    println!("\nΩ_g3 at p3 over time (rotating until t10):");
+    for t in [0u64, 2, 4, 10, 20] {
+        println!("  t{t}: {}", omega.leader(ProcessId(3), Time(t)).unwrap());
+    }
+
+    // γ: the cyclicity detector — the paper's new class.
+    let gamma = GammaOracle::new(&gs, pattern.clone(), 1);
+    println!("\nγ at p0 over time (detection delay 1):");
+    for t in [0u64, 5, 6, 9, 12] {
+        let fams = gamma.families(ProcessId(0), Time(t));
+        println!("  t{t}: {} families {fams:?}", fams.len());
+    }
+    println!(
+        "γ(g1) once stabilised: {:?} (the groups g1 still orders against)",
+        gamma.groups(ProcessId(0), GroupId(0), Time(20))
+    );
+
+    // 1^{g1∩g2}: indicates when {p1} has crashed, to everyone in g1 ∪ g2.
+    let inter = gs.intersection(GroupId(0), GroupId(1));
+    let scope = gs.members(GroupId(0)) | gs.members(GroupId(1));
+    let ind = IndicatorOracle::new(inter, scope, pattern.clone(), 0, IndicatorMode::Truthful);
+    println!("\n1^(g1∩g2) at p0: t4 → {:?}, t5 → {:?}",
+        ind.indicates(ProcessId(0), Time(4)).unwrap(),
+        ind.indicates(ProcessId(0), Time(5)).unwrap());
+
+    // μ bundles them all; Algorithm 1 consumes it through typed accessors.
+    let mu = MuOracle::new(&gs, pattern, MuConfig::default());
+    println!("\nμ components at p0, t20:");
+    println!("  Σ_(g1∩g3) = {:?}", mu.sigma(GroupId(0), GroupId(2), ProcessId(0), Time(20)));
+    println!("  Ω_g4      = {:?}", mu.omega(GroupId(3), ProcessId(0), Time(20)));
+    println!("  γ         = {:?}", mu.gamma_families(ProcessId(0), Time(20)));
+}

@@ -1,0 +1,124 @@
+//! Integration of the necessity side: the extractions of Algorithms 2–5
+//! produce failure detector histories that pass the class validators, over
+//! a sweep of topologies and failure patterns.
+
+use genuine_multicast::detectors::validate::{
+    validate_gamma, validate_indicator, validate_sigma,
+};
+use genuine_multicast::emulation::{
+    GammaExtraction, IndicatorExtraction, OmegaExtraction, SigmaExtraction,
+};
+use genuine_multicast::prelude::*;
+
+#[test]
+fn sigma_extraction_certified_across_patterns() {
+    let gs = topology::two_overlapping(3, 2); // g∩h = {p1,p2}
+    let env = Environment::wait_free(gs.universe());
+    for pattern in env.enumerate_patterns(2, Time(7)) {
+        // keep at least one correct process overall
+        if pattern.correct().is_empty() {
+            continue;
+        }
+        let mut ext = SigmaExtraction::new(&gs, pattern.clone(), &[GroupId(0), GroupId(1)]);
+        for t in 0..=80u64 {
+            ext.advance(Time(t));
+        }
+        validate_sigma(
+            |p, t| ext.quorum(p, t),
+            &pattern,
+            ext.scope(),
+            Time(40),
+            Time(80),
+        )
+        .unwrap_or_else(|v| panic!("{pattern}: {v}"));
+    }
+}
+
+#[test]
+fn gamma_extraction_certified_across_patterns() {
+    for gs in [topology::ring(3, 2), topology::fig1()] {
+        let env = Environment::wait_free(gs.universe());
+        for pattern in env.enumerate_patterns(1, Time(5)) {
+            let mut ext = GammaExtraction::new(&gs, pattern.clone(), &env);
+            let n = gs.universe().len();
+            let mut samples: Vec<Vec<Vec<GroupSet>>> = Vec::new();
+            for t in 0..=80u64 {
+                ext.advance(Time(t));
+                samples.push((0..n).map(|i| ext.families(ProcessId(i as u32))).collect());
+            }
+            validate_gamma(
+                |p, t| samples[t.0 as usize][p.index()].clone(),
+                &gs,
+                &pattern,
+                Time(40),
+                Time(80),
+            )
+            .unwrap_or_else(|v| panic!("{pattern}: {v}"));
+        }
+    }
+}
+
+#[test]
+fn indicator_extraction_certified_across_patterns() {
+    let gs = topology::two_overlapping(3, 2);
+    let env = Environment::wait_free(gs.universe());
+    for pattern in env.enumerate_patterns(2, Time(6)) {
+        let mut ext = IndicatorExtraction::new(&gs, pattern.clone(), GroupId(0), GroupId(1));
+        for t in 0..=60u64 {
+            ext.advance(Time(t));
+        }
+        validate_indicator(
+            |p, t| ext.indicates(p, t),
+            &pattern,
+            ext.monitored(),
+            gs.members(GroupId(0)) | gs.members(GroupId(1)),
+            Time(30),
+            Time(60),
+        )
+        .unwrap_or_else(|v| panic!("{pattern}: {v}"));
+    }
+}
+
+#[test]
+fn omega_extraction_elects_a_correct_leader_in_every_pattern() {
+    let scope = ProcessSet::first_n(2);
+    let env = Environment::wait_free(scope).with_max_failures(1);
+    for pattern in env.enumerate_patterns(1, Time(0)) {
+        let ext = OmegaExtraction::new(scope, pattern.clone(), 8, 4);
+        let mut leaders = std::collections::BTreeSet::new();
+        for p in scope & pattern.correct() {
+            let l = ext.leader(p).expect("in scope");
+            assert!(pattern.is_correct(l), "{pattern}: leader {l} is faulty");
+            leaders.insert(l);
+        }
+        assert!(leaders.len() <= 1, "{pattern}: leaders disagree {leaders:?}");
+    }
+}
+
+#[test]
+fn the_full_mu_pipeline_composes() {
+    // Extract Σ_{g∩h}, γ and use them alongside native Ω oracles to re-check
+    // the candidate μ's shape on Figure 1: every constituent is available at
+    // the processes Algorithm 1 queries it from.
+    let gs = topology::fig1();
+    let pattern = FailurePattern::from_crashes(gs.universe(), [(ProcessId(1), Time(5))]);
+    let env = Environment::wait_free(gs.universe());
+
+    // Σ for every intersecting pair.
+    for (g, h) in gs.intersecting_pairs() {
+        let mut ext = SigmaExtraction::new(&gs, pattern.clone(), &[g, h]);
+        for t in 0..=60u64 {
+            ext.advance(Time(t));
+        }
+        for p in gs.intersection(g, h) - pattern.faulty() {
+            assert!(ext.quorum(p, Time(60)).is_some(), "Σ_({g}∩{h}) at {p}");
+        }
+    }
+    // γ with its probes.
+    let mut gamma = GammaExtraction::new(&gs, pattern.clone(), &env);
+    for t in 0..=60u64 {
+        gamma.advance(Time(t));
+    }
+    // p0 keeps exactly the family that survives p1's crash.
+    assert_eq!(gamma.families(ProcessId(0)).len(), 1);
+}

@@ -1,0 +1,260 @@
+//! Table 1 of the paper, as executable assertions.
+//!
+//! | Genuineness | Order    | Weakest failure detector                         |
+//! |-------------|----------|--------------------------------------------------|
+//! | ×           | Global   | `Ω ∧ Σ`             (atomic broadcast suffices)  |
+//! | ✓           | —        | `∉ 𝒰₂`              (Guerraoui–Schiper)          |
+//! | ✓           | —        | `≤ 𝒫`               (Schiper–Pedone)             |
+//! | ✓           | Global   | `μ`                 (§4, §5)                     |
+//! | ✓           | Strict   | `μ ∧ (∧ 1^{g∩h})`   (§6.1)                       |
+//! | ✓           | Pairwise | `(∧ Σ_{g∩h}) ∧ (∧ Ω_g)`  (§7)                    |
+//! | ✓✓          | Global   | `ℱ=∅`: `μ ∧ (∧ Ω_{g∩h})`  (§6.2)                 |
+//!
+//! Each test below exercises one row: the stated detector suffices
+//! (solvable + all properties hold), and where the paper proves a
+//! separation we exhibit the distinguishing behaviour.
+
+use genuine_multicast::core::baseline::BroadcastBased;
+use genuine_multicast::core::variants::{
+    check_group_parallelism, check_group_parallelism_staged,
+};
+use genuine_multicast::prelude::*;
+
+fn one_per_group(gs: &GroupSystem, pattern: FailurePattern, config: RuntimeConfig) -> RunReport {
+    let mut rt = Runtime::new(gs, pattern.clone(), config);
+    for (g, members) in gs.iter() {
+        // choose a correct source when one exists (a faulty one may crash
+        // between submissions; termination then doesn't require delivery)
+        let live = members & pattern.correct();
+        if let Some(src) = live.min() {
+            rt.multicast(src, g, 0);
+        }
+    }
+    let q = rt.run(2_000_000);
+    rt.report(q)
+}
+
+/// Row 1 — non-genuine multicast over atomic broadcast: global order with
+/// only `Ω ∧ Σ`, but minimality fails.
+#[test]
+fn row1_non_genuine_broadcast_orders_globally_but_is_not_minimal() {
+    let gs = topology::disjoint(3, 2);
+    let mut bb = BroadcastBased::new(&gs, FailurePattern::all_correct(gs.universe()));
+    bb.multicast(ProcessId(0), GroupId(0), 0);
+    assert!(bb.run(100_000));
+    let r = bb.report(true);
+    spec::check_ordering(&r).unwrap();
+    spec::check_termination(&r).unwrap();
+    assert_eq!(
+        spec::check_minimality(&r).unwrap_err().property,
+        "minimality"
+    );
+}
+
+/// Row 2 — the Guerraoui–Schiper impossibility corner: `Σ_{g∩h}` with
+/// `g∩h = {p,q}` is not 2-unreliable. We exhibit the distinguishing
+/// histories: with `q` faulty, `Σ_{p,q}` eventually outputs `{p}` — a value
+/// a 2-unreliable detector would also have to allow with *both* correct,
+/// violating intersection against the symmetric `{q}` history.
+#[test]
+fn row2_sigma_of_two_processes_is_not_2_unreliable() {
+    use gam_detectors::{SigmaMode, SigmaOracle};
+    let universe = ProcessSet::first_n(2);
+    let scope = universe;
+    // run A: q (=p1) faulty → Σ stabilises to {p0}
+    let fa = FailurePattern::from_crashes(universe, [(ProcessId(1), Time(1))]);
+    let sa = SigmaOracle::new(scope, fa, SigmaMode::Alive);
+    assert_eq!(
+        sa.quorum(ProcessId(0), Time(10)),
+        Some(ProcessSet::singleton(ProcessId(0)))
+    );
+    // run B: p (=p0) faulty → Σ stabilises to {p1}
+    let fb = FailurePattern::from_crashes(universe, [(ProcessId(0), Time(1))]);
+    let sb = SigmaOracle::new(scope, fb, SigmaMode::Alive);
+    assert_eq!(
+        sb.quorum(ProcessId(1), Time(10)),
+        Some(ProcessSet::singleton(ProcessId(1)))
+    );
+    // the two stabilised outputs are disjoint — a detector unable to
+    // distinguish the runs (as any 𝒰₂ member over W={p,q}) would have to
+    // emit both in a run where p and q are both correct, violating the
+    // intersection property of Σ.
+    assert!(!ProcessSet::singleton(ProcessId(0)).intersects(ProcessSet::singleton(ProcessId(1))));
+}
+
+/// Row 3 — the perfect detector is (more than) sufficient: `𝒫` implements
+/// every component of `μ` (here: its suspected-set drives `Σ`, `Ω`, `γ`
+/// outputs that pass the class validators).
+#[test]
+fn row3_perfect_detector_implements_mu_components() {
+    use gam_detectors::validate::{validate_gamma, validate_omega, validate_sigma};
+    use gam_detectors::PerfectOracle;
+    let gs = topology::fig1();
+    let pattern =
+        FailurePattern::from_crashes(gs.universe(), [(ProcessId(1), Time(5))]);
+    let perfect = PerfectOracle::new(pattern.clone(), 0);
+    let universe = gs.universe();
+    // Σ from 𝒫: quorum = not-suspected processes.
+    validate_sigma(
+        |p, t| Some(universe - perfect.suspected(p, t)),
+        &pattern,
+        universe,
+        Time(10),
+        Time(40),
+    )
+    .unwrap();
+    // Ω from 𝒫: leader = min not-suspected.
+    validate_omega(
+        |p, t| (universe - perfect.suspected(p, t)).min(),
+        &pattern,
+        universe,
+        Time(10),
+        Time(40),
+    )
+    .unwrap();
+    // γ from 𝒫: output families not faulty under the suspected set.
+    validate_gamma(
+        |p, t| {
+            gs.families_of_process(p)
+                .into_iter()
+                .filter(|f| !gs.family_faulty(*f, perfect.suspected(p, t)))
+                .collect()
+        },
+        &gs,
+        &pattern,
+        Time(10),
+        Time(40),
+    )
+    .unwrap();
+}
+
+/// Row 4 — the headline: `μ` solves genuine atomic multicast on every
+/// topology of the suite, under crashes of intersections.
+#[test]
+fn row4_mu_solves_genuine_atomic_multicast() {
+    for (name, gs) in topology::suite() {
+        // crash one intersection process where one exists
+        let victim = gs.intersections().first().and_then(|x| (*x).min());
+        let pattern = match victim {
+            Some(v) => FailurePattern::from_crashes(gs.universe(), [(v, Time(3))]),
+            None => FailurePattern::all_correct(gs.universe()),
+        };
+        let report = one_per_group(&gs, pattern, RuntimeConfig::default());
+        assert!(report.quiescent, "{name}");
+        spec::check_all(&report, Variant::Standard).unwrap_or_else(|v| panic!("{name}: {v}"));
+    }
+}
+
+/// Row 5 — strict order needs the indicators: with them the strict variant
+/// terminates under an intersection crash and satisfies strict ordering.
+#[test]
+fn row5_strict_variant_with_indicators() {
+    let gs = topology::two_overlapping(3, 1);
+    let pattern = FailurePattern::from_crashes(gs.universe(), [(ProcessId(2), Time(2))]);
+    let report = one_per_group(
+        &gs,
+        pattern,
+        RuntimeConfig {
+            variant: Variant::Strict,
+            ..Default::default()
+        },
+    );
+    assert!(report.quiescent);
+    spec::check_all(&report, Variant::Strict).unwrap();
+}
+
+/// Row 6 — pairwise ordering without `γ`: delivers on cyclic topologies and
+/// guarantees the pairwise property.
+#[test]
+fn row6_pairwise_without_gamma() {
+    let gs = topology::ring(3, 2);
+    for seed in 0..5u64 {
+        let report = one_per_group(
+            &gs,
+            FailurePattern::all_correct(gs.universe()),
+            RuntimeConfig {
+                variant: Variant::Pairwise,
+                scheduler: ActionScheduler::Random,
+                seed,
+                ..Default::default()
+            },
+        );
+        assert!(report.quiescent, "seed {seed}");
+        spec::check_integrity(&report).unwrap();
+        spec::check_termination(&report).unwrap();
+        spec::check_pairwise_ordering(&report).unwrap();
+    }
+}
+
+/// Row 6b — the §7 separation is real: some random schedules of the
+/// pairwise variant produce a *global* delivery cycle across the three ring
+/// groups (while pairwise ordering still holds), and the standard variant
+/// with `γ` never does.
+#[test]
+fn row6b_pairwise_exhibits_global_cycles_standard_does_not() {
+    let gs = topology::ring(3, 2);
+    let run = |variant: Variant, seed: u64| {
+        let mut rt = Runtime::new(
+            &gs,
+            FailurePattern::all_correct(gs.universe()),
+            RuntimeConfig {
+                variant,
+                scheduler: ActionScheduler::Random,
+                seed,
+                ..Default::default()
+            },
+        );
+        for g in 0..3u32 {
+            let src = gs.members(GroupId(g)).min().unwrap();
+            rt.multicast(src, GroupId(g), g as u64);
+        }
+        let q = rt.run(1_000_000);
+        assert!(q);
+        rt.report(true)
+    };
+    let mut pairwise_cycles = 0;
+    for seed in 0..60u64 {
+        let report = run(Variant::Pairwise, seed);
+        spec::check_pairwise_ordering(&report).unwrap();
+        if spec::check_ordering(&report).is_err() {
+            pairwise_cycles += 1;
+        }
+        // the standard variant never violates global ordering
+        let report = run(Variant::Standard, seed);
+        spec::check_ordering(&report).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+    }
+    assert!(
+        pairwise_cycles > 0,
+        "expected some global cycles under the pairwise weakening"
+    );
+}
+
+/// Row 7 — strong genuineness: attained by Algorithm 1 when `ℱ = ∅`, and
+/// separated from plain `μ` when a correct cyclic family exists (the
+/// contended isolation blocks).
+#[test]
+fn row7_strong_genuineness_split_on_cyclic_families() {
+    // ℱ = ∅: every group of an acyclic topology delivers in isolation.
+    let acyclic = topology::chain(3, 3);
+    for (g, _) in acyclic.iter() {
+        check_group_parallelism(
+            &acyclic,
+            FailurePattern::all_correct(acyclic.universe()),
+            g,
+            RuntimeConfig::default(),
+            1_000_000,
+        )
+        .unwrap();
+    }
+    // ℱ ≠ ∅: a contended isolated group blocks.
+    let ring = topology::ring(3, 2);
+    let mut rt = Runtime::new(
+        &ring,
+        FailurePattern::all_correct(ring.universe()),
+        RuntimeConfig::default(),
+    );
+    rt.multicast(ProcessId(1), GroupId(1), 0);
+    rt.run_only(ProcessSet::singleton(ProcessId(1)), 100_000);
+    let err = check_group_parallelism_staged(&mut rt, GroupId(0), 200_000).unwrap_err();
+    assert_eq!(err.property, "group-parallelism");
+}
