@@ -1,4 +1,4 @@
-//! Criterion benches for the multicast algorithms.
+//! Self-timed benches for the multicast algorithms.
 //!
 //! - `table1/<topology>` — Algorithm 1 solving one message per group on
 //!   each topology of the suite (the Table 1 workload);
@@ -8,122 +8,95 @@
 //!   cost grows with `k`, the genuine one does not);
 //! - `convoy/<len>` — Perf-2: delivery behind a cross-group chain.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gam_bench::one_per_group_workload;
+use gam_bench::{bench, one_per_group_workload};
 use gam_core::baseline::BroadcastBased;
 use gam_core::{Runtime, RuntimeConfig, Variant};
 use gam_groups::{topology, GroupId};
 use gam_kernel::FailurePattern;
-use std::hint::black_box;
 
-fn bench_table1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1");
-    group.sample_size(20);
+fn bench_table1() {
     for (name, gs) in topology::suite() {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                let report = one_per_group_workload(
-                    &gs,
-                    FailurePattern::all_correct(gs.universe()),
-                    RuntimeConfig::default(),
-                    1,
-                    10_000_000,
-                );
-                assert!(report.quiescent);
-                black_box(report.delivered.len())
-            })
+        bench(&format!("table1/{name}"), || {
+            let report = one_per_group_workload(
+                &gs,
+                FailurePattern::all_correct(gs.universe()),
+                RuntimeConfig::default(),
+                1,
+                10_000_000,
+            );
+            assert!(report.quiescent);
+            report.delivered.len()
         });
     }
-    group.finish();
 }
 
-fn bench_variants(c: &mut Criterion) {
-    let mut group = c.benchmark_group("variants");
-    group.sample_size(20);
+fn bench_variants() {
     let gs = topology::fig1();
     for (name, variant) in [
         ("standard", Variant::Standard),
         ("strict", Variant::Strict),
         ("pairwise", Variant::Pairwise),
     ] {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                let report = one_per_group_workload(
-                    &gs,
-                    FailurePattern::all_correct(gs.universe()),
-                    RuntimeConfig {
-                        variant,
-                        ..Default::default()
-                    },
-                    1,
-                    10_000_000,
-                );
-                assert!(report.quiescent);
-                black_box(report.delivered.len())
-            })
+        bench(&format!("variants/{name}"), || {
+            let report = one_per_group_workload(
+                &gs,
+                FailurePattern::all_correct(gs.universe()),
+                RuntimeConfig {
+                    variant,
+                    ..Default::default()
+                },
+                1,
+                10_000_000,
+            );
+            assert!(report.quiescent);
+            report.delivered.len()
         });
     }
-    group.finish();
 }
 
-fn bench_genuine_vs_naive(c: &mut Criterion) {
-    let mut group = c.benchmark_group("genuine_vs_naive");
-    group.sample_size(20);
+fn bench_genuine_vs_naive() {
     for k in [2usize, 8, 32] {
         let gs = topology::disjoint(k, 3);
-        group.bench_function(BenchmarkId::new("genuine", k), |b| {
-            b.iter(|| {
-                let mut rt = Runtime::new(
-                    &gs,
-                    FailurePattern::all_correct(gs.universe()),
-                    RuntimeConfig::default(),
-                );
-                rt.multicast(gs.members(GroupId(0)).min().unwrap(), GroupId(0), 0);
-                black_box(rt.run(10_000_000))
-            })
+        bench(&format!("genuine_vs_naive/genuine/{k}"), || {
+            let mut rt = Runtime::new(
+                &gs,
+                FailurePattern::all_correct(gs.universe()),
+                RuntimeConfig::default(),
+            );
+            rt.multicast(gs.members(GroupId(0)).min().unwrap(), GroupId(0), 0);
+            rt.run(10_000_000)
         });
-        group.bench_function(BenchmarkId::new("broadcast", k), |b| {
-            b.iter(|| {
-                let mut bb =
-                    BroadcastBased::new(&gs, FailurePattern::all_correct(gs.universe()));
-                bb.multicast(gs.members(GroupId(0)).min().unwrap(), GroupId(0), 0);
-                black_box(bb.run(10_000_000))
-            })
+        bench(&format!("genuine_vs_naive/broadcast/{k}"), || {
+            let mut bb = BroadcastBased::new(&gs, FailurePattern::all_correct(gs.universe()));
+            bb.multicast(gs.members(GroupId(0)).min().unwrap(), GroupId(0), 0);
+            bb.run(10_000_000)
         });
     }
-    group.finish();
 }
 
-fn bench_convoy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("convoy");
-    group.sample_size(20);
+fn bench_convoy() {
     for ahead in [0usize, 2, 6] {
         let gs = topology::chain(ahead + 1, 3);
-        group.bench_function(BenchmarkId::from_parameter(ahead), |b| {
-            b.iter(|| {
-                let mut rt = Runtime::new(
-                    &gs,
-                    FailurePattern::all_correct(gs.universe()),
-                    RuntimeConfig::default(),
-                );
-                for gi in 0..ahead {
-                    let g = GroupId(gi as u32);
-                    rt.multicast(gs.members(g).min().unwrap(), g, 0);
-                }
-                let last = GroupId(ahead as u32);
-                rt.multicast(gs.members(last).min().unwrap(), last, 99);
-                black_box(rt.run(10_000_000))
-            })
+        bench(&format!("convoy/{ahead}"), || {
+            let mut rt = Runtime::new(
+                &gs,
+                FailurePattern::all_correct(gs.universe()),
+                RuntimeConfig::default(),
+            );
+            for gi in 0..ahead {
+                let g = GroupId(gi as u32);
+                rt.multicast(gs.members(g).min().unwrap(), g, 0);
+            }
+            let last = GroupId(ahead as u32);
+            rt.multicast(gs.members(last).min().unwrap(), last, 99);
+            rt.run(10_000_000)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_table1,
-    bench_variants,
-    bench_genuine_vs_naive,
-    bench_convoy
-);
-criterion_main!(benches);
+fn main() {
+    bench_table1();
+    bench_variants();
+    bench_genuine_vs_naive();
+    bench_convoy();
+}

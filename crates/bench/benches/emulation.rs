@@ -1,4 +1,4 @@
-//! Criterion benches for the necessity-side machinery (Perf-4) and the
+//! Self-timed benches for the necessity-side machinery (Perf-4) and the
 //! group combinatorics behind Figures 1–3.
 //!
 //! - `families/ring_k` — enumerating `ℱ` and `cpaths` as the ring grows;
@@ -6,96 +6,72 @@
 //! - `sigma_extraction/*` — Algorithm 2's responsive-subset machinery;
 //! - `omega_forest/*` — building the Algorithm 5 simulation forest.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gam_bench::bench;
 use gam_emulation::{GammaExtraction, OmegaExtraction, SigmaExtraction};
 use gam_groups::{topology, GroupId};
 use gam_kernel::{Environment, FailurePattern, ProcessId, ProcessSet, Time};
-use std::hint::black_box;
 
-fn bench_families(c: &mut Criterion) {
-    let mut group = c.benchmark_group("families");
+fn bench_families() {
     for k in [3usize, 5, 7, 9] {
         let gs = topology::ring(k, 2);
-        group.bench_function(BenchmarkId::new("enumerate", k), |b| {
-            b.iter(|| black_box(gs.cyclic_families().len()))
+        bench(&format!("families/enumerate/{k}"), || {
+            gs.cyclic_families().len()
         });
-        group.bench_function(BenchmarkId::new("cpaths", k), |b| {
-            let f = gs.cyclic_families()[0];
-            b.iter(|| black_box(gs.cpaths(f).len()))
-        });
+        let f = gs.cyclic_families()[0];
+        bench(&format!("families/cpaths/{k}"), || gs.cpaths(f).len());
     }
     // the hub's complete intersection graph is the dense case
     for k in [4usize, 6] {
         let gs = topology::hub(k, 2);
-        group.bench_function(BenchmarkId::new("enumerate_hub", k), |b| {
-            b.iter(|| black_box(gs.cyclic_families().len()))
+        bench(&format!("families/enumerate_hub/{k}"), || {
+            gs.cyclic_families().len()
         });
     }
-    group.finish();
 }
 
-fn bench_gamma_extraction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gamma_extraction");
-    group.sample_size(20);
+fn bench_gamma_extraction() {
     for (name, gs) in [("ring3", topology::ring(3, 2)), ("fig1", topology::fig1())] {
         let env = Environment::wait_free(gs.universe());
-        let pattern =
-            FailurePattern::from_crashes(gs.universe(), [(ProcessId(0), Time(5))]);
-        group.bench_function(BenchmarkId::new("drive", name), |b| {
-            b.iter(|| {
-                let mut ext = GammaExtraction::new(&gs, pattern.clone(), &env);
-                for t in 0..=40u64 {
-                    ext.advance(Time(t));
-                }
-                black_box(ext.families(ProcessId(1)).len())
-            })
+        let pattern = FailurePattern::from_crashes(gs.universe(), [(ProcessId(0), Time(5))]);
+        bench(&format!("gamma_extraction/drive/{name}"), || {
+            let mut ext = GammaExtraction::new(&gs, pattern.clone(), &env);
+            for t in 0..=40u64 {
+                ext.advance(Time(t));
+            }
+            ext.families(ProcessId(1)).len()
         });
     }
-    group.finish();
 }
 
-fn bench_sigma_extraction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sigma_extraction");
-    group.sample_size(20);
+fn bench_sigma_extraction() {
     for overlap in [1usize, 2] {
         let gs = topology::two_overlapping(3, overlap);
         let pattern = FailurePattern::all_correct(gs.universe());
-        group.bench_function(BenchmarkId::new("drive", overlap), |b| {
-            b.iter(|| {
-                let mut ext =
-                    SigmaExtraction::new(&gs, pattern.clone(), &[GroupId(0), GroupId(1)]);
-                for t in 0..=40u64 {
-                    ext.advance(Time(t));
-                }
-                let p = ext.scope().min().unwrap();
-                black_box(ext.quorum(p, Time(40)))
-            })
+        bench(&format!("sigma_extraction/drive/{overlap}"), || {
+            let mut ext = SigmaExtraction::new(&gs, pattern.clone(), &[GroupId(0), GroupId(1)]);
+            for t in 0..=40u64 {
+                ext.advance(Time(t));
+            }
+            let p = ext.scope().min().unwrap();
+            ext.quorum(p, Time(40))
         });
     }
-    group.finish();
 }
 
-fn bench_omega_forest(c: &mut Criterion) {
-    let mut group = c.benchmark_group("omega_forest");
-    group.sample_size(10);
+fn bench_omega_forest() {
     for n in [2usize, 3] {
         let scope = ProcessSet::first_n(n);
         let pattern = FailurePattern::all_correct(scope);
-        group.bench_function(BenchmarkId::new("build_extract", n), |b| {
-            b.iter(|| {
-                let ext = OmegaExtraction::new(scope, pattern.clone(), 8, 3);
-                black_box(ext.leader(ProcessId(0)))
-            })
+        bench(&format!("omega_forest/build_extract/{n}"), || {
+            let ext = OmegaExtraction::new(scope, pattern.clone(), 8, 3);
+            ext.leader(ProcessId(0))
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_families,
-    bench_gamma_extraction,
-    bench_sigma_extraction,
-    bench_omega_forest
-);
-criterion_main!(benches);
+fn main() {
+    bench_families();
+    bench_gamma_extraction();
+    bench_sigma_extraction();
+    bench_omega_forest();
+}

@@ -1,119 +1,100 @@
-//! Criterion benches for the shared-object substrate (Perf-3).
+//! Self-timed benches for the shared-object substrate (Perf-3).
 //!
 //! - `log/*` — the §4.3 log object: appends, bumps, order queries;
 //! - `objects/*` — consensus and adopt–commit proposals;
 //! - `abd/round` — one write+read round of the Σ-based register emulation;
 //! - `paxos/decide` — one decided instance of the Ω∧Σ consensus.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gam_bench::bench;
 use gam_detectors::{OmegaMode, OmegaOracle, SigmaMode, SigmaOracle};
 use gam_kernel::{FailurePattern, ProcessId, ProcessSet, Scheduler, Simulator};
 use gam_objects::{
     AbdProcess, AdoptCommit, Consensus, Log, OmegaSigmaHistory, PaxosProcess, Pos, RegisterId,
 };
-use std::hint::black_box;
 
-fn bench_log(c: &mut Criterion) {
-    let mut group = c.benchmark_group("log");
+fn bench_log() {
     for n in [100usize, 1000] {
-        group.bench_function(BenchmarkId::new("append", n), |b| {
-            b.iter(|| {
-                let mut log = Log::new();
-                for i in 0..n {
-                    log.append(i as u64);
-                }
-                black_box(log.len())
-            })
-        });
-        group.bench_function(BenchmarkId::new("append_bump_lock", n), |b| {
-            b.iter(|| {
-                let mut log = Log::new();
-                for i in 0..n {
-                    log.append(i as u64);
-                }
-                for i in 0..n {
-                    log.bump_and_lock(&(i as u64), Pos((n + i) as u64));
-                }
-                black_box(log.len())
-            })
-        });
-        group.bench_function(BenchmarkId::new("order_scan", n), |b| {
+        bench(&format!("log/append/{n}"), || {
             let mut log = Log::new();
             for i in 0..n {
                 log.append(i as u64);
             }
-            b.iter(|| black_box(log.iter_in_order().count()))
+            log.len()
         });
-    }
-    group.finish();
-}
-
-fn bench_objects(c: &mut Criterion) {
-    let mut group = c.benchmark_group("objects");
-    group.bench_function("consensus_propose", |b| {
-        b.iter(|| {
-            let mut cons = Consensus::new();
-            for i in 0..100u64 {
-                black_box(cons.propose(i));
+        bench(&format!("log/append_bump_lock/{n}"), || {
+            let mut log = Log::new();
+            for i in 0..n {
+                log.append(i as u64);
             }
-        })
-    });
-    group.bench_function("adopt_commit_propose", |b| {
-        b.iter(|| {
-            let mut ac = AdoptCommit::new();
-            for i in 0..100u64 {
-                black_box(ac.propose(i % 2));
+            for i in 0..n {
+                log.bump_and_lock(&(i as u64), Pos((n + i) as u64));
             }
-        })
+            log.len()
+        });
+        let mut log = Log::new();
+        for i in 0..n {
+            log.append(i as u64);
+        }
+        bench(&format!("log/order_scan/{n}"), || {
+            log.iter_in_order().count()
+        });
+    }
+}
+
+fn bench_objects() {
+    bench("objects/consensus_propose", || {
+        let mut cons = Consensus::new();
+        for i in 0..100u64 {
+            std::hint::black_box(cons.propose(i));
+        }
     });
-    group.finish();
+    bench("objects/adopt_commit_propose", || {
+        let mut ac = AdoptCommit::new();
+        for i in 0..100u64 {
+            std::hint::black_box(ac.propose(i % 2));
+        }
+    });
 }
 
-fn bench_abd(c: &mut Criterion) {
-    let mut group = c.benchmark_group("abd");
-    group.sample_size(20);
+fn bench_abd() {
     for n in [3usize, 7] {
-        group.bench_function(BenchmarkId::new("write_read_round", n), |b| {
-            b.iter(|| {
-                let scope = ProcessSet::first_n(n);
-                let pattern = FailurePattern::all_correct(scope);
-                let sigma = SigmaOracle::new(scope, pattern.clone(), SigmaMode::Alive);
-                let autos: Vec<AbdProcess<u64>> = (0..n)
-                    .map(|i| AbdProcess::new(ProcessId(i as u32), scope))
-                    .collect();
-                let mut sim = Simulator::new(autos, pattern, sigma);
-                sim.automaton_mut(ProcessId(0)).write(RegisterId(0), 7);
-                sim.automaton_mut(ProcessId(1)).read(RegisterId(0));
-                black_box(sim.run(Scheduler::RoundRobin, 1_000_000))
-            })
+        bench(&format!("abd/write_read_round/{n}"), || {
+            let scope = ProcessSet::first_n(n);
+            let pattern = FailurePattern::all_correct(scope);
+            let sigma = SigmaOracle::new(scope, pattern.clone(), SigmaMode::Alive);
+            let autos: Vec<AbdProcess<u64>> = (0..n)
+                .map(|i| AbdProcess::new(ProcessId(i as u32), scope))
+                .collect();
+            let mut sim = Simulator::new(autos, pattern, sigma);
+            sim.automaton_mut(ProcessId(0)).write(RegisterId(0), 7);
+            sim.automaton_mut(ProcessId(1)).read(RegisterId(0));
+            sim.run(Scheduler::RoundRobin, 1_000_000)
         });
     }
-    group.finish();
 }
 
-fn bench_paxos(c: &mut Criterion) {
-    let mut group = c.benchmark_group("paxos");
-    group.sample_size(20);
+fn bench_paxos() {
     for n in [3usize, 7] {
-        group.bench_function(BenchmarkId::new("decide", n), |b| {
-            b.iter(|| {
-                let scope = ProcessSet::first_n(n);
-                let pattern = FailurePattern::all_correct(scope);
-                let hist = OmegaSigmaHistory::new(
-                    OmegaOracle::new(scope, pattern.clone(), OmegaMode::MinAlive),
-                    SigmaOracle::new(scope, pattern.clone(), SigmaMode::Alive),
-                );
-                let autos: Vec<PaxosProcess<u64>> = (0..n)
-                    .map(|i| PaxosProcess::new(ProcessId(i as u32), scope))
-                    .collect();
-                let mut sim = Simulator::new(autos, pattern, hist);
-                sim.automaton_mut(ProcessId(0)).propose(0, 42);
-                black_box(sim.run(Scheduler::RoundRobin, 1_000_000))
-            })
+        bench(&format!("paxos/decide/{n}"), || {
+            let scope = ProcessSet::first_n(n);
+            let pattern = FailurePattern::all_correct(scope);
+            let hist = OmegaSigmaHistory::new(
+                OmegaOracle::new(scope, pattern.clone(), OmegaMode::MinAlive),
+                SigmaOracle::new(scope, pattern.clone(), SigmaMode::Alive),
+            );
+            let autos: Vec<PaxosProcess<u64>> = (0..n)
+                .map(|i| PaxosProcess::new(ProcessId(i as u32), scope))
+                .collect();
+            let mut sim = Simulator::new(autos, pattern, hist);
+            sim.automaton_mut(ProcessId(0)).propose(0, 42);
+            sim.run(Scheduler::RoundRobin, 1_000_000)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_log, bench_objects, bench_abd, bench_paxos);
-criterion_main!(benches);
+fn main() {
+    bench_log();
+    bench_objects();
+    bench_abd();
+    bench_paxos();
+}

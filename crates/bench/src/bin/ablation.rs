@@ -15,26 +15,27 @@
 //! Run with: `cargo run -p gam-bench --bin ablation`
 //! Output:   stdout tables + `target/experiments/ablation.json`
 
+use gam_bench::json::{write_experiment, Json};
 use gam_core::{Runtime, RuntimeConfig, Variant};
 use gam_detectors::{MuConfig, OmegaMode, OmegaOracle, SigmaMode, SigmaOracle};
 use gam_groups::{topology, GroupId};
-use gam_kernel::{
-    FailurePattern, ProcessId, ProcessSet, RunOutcome, Scheduler, Simulator, Time,
-};
+use gam_kernel::{FailurePattern, ProcessId, ProcessSet, RunOutcome, Scheduler, Simulator, Time};
 use gam_objects::{OmegaSigmaHistory, PaxosProcess};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct SweepRow {
     knob: u64,
     quiescence_actions: u64,
 }
 
-#[derive(Serialize)]
-struct AblationRecord {
-    gamma_delay: Vec<SweepRow>,
-    indicator_delay: Vec<SweepRow>,
-    omega_stabilization: Vec<SweepRow>,
+fn sweep_json(rows: &[SweepRow]) -> Json {
+    rows.iter()
+        .map(|r| {
+            Json::obj([
+                ("knob", Json::from(r.knob)),
+                ("quiescence_actions", Json::from(r.quiescence_actions)),
+            ])
+        })
+        .collect()
 }
 
 fn main() {
@@ -44,8 +45,7 @@ fn main() {
     let gs = topology::ring(3, 2);
     let mut gamma_delay = Vec::new();
     for delay in [0u64, 10, 50, 200] {
-        let pattern =
-            FailurePattern::from_crashes(gs.universe(), [(ProcessId(0), Time(2))]);
+        let pattern = FailurePattern::from_crashes(gs.universe(), [(ProcessId(0), Time(2))]);
         let mut rt = Runtime::new(
             &gs,
             pattern.clone(),
@@ -87,8 +87,7 @@ fn main() {
     let gs2 = topology::two_overlapping(3, 1);
     let mut indicator_delay = Vec::new();
     for delay in [0u64, 10, 50, 200] {
-        let pattern =
-            FailurePattern::from_crashes(gs2.universe(), [(ProcessId(2), Time(2))]);
+        let pattern = FailurePattern::from_crashes(gs2.universe(), [(ProcessId(2), Time(2))]);
         let mut rt = Runtime::new(
             &gs2,
             pattern.clone(),
@@ -149,16 +148,11 @@ fn main() {
         });
     }
 
-    std::fs::create_dir_all("target/experiments").expect("create output dir");
-    std::fs::write(
-        "target/experiments/ablation.json",
-        serde_json::to_string_pretty(&AblationRecord {
-            gamma_delay,
-            indicator_delay,
-            omega_stabilization: omega_stab,
-        })
-        .expect("serialize"),
-    )
-    .expect("write ablation.json");
+    let record = Json::obj([
+        ("gamma_delay", sweep_json(&gamma_delay)),
+        ("indicator_delay", sweep_json(&indicator_delay)),
+        ("omega_stabilization", sweep_json(&omega_stab)),
+    ]);
+    write_experiment("ablation.json", &record);
     println!("\nablation shapes verified: detector timeliness bounds delivery latency");
 }

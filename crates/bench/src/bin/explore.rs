@@ -1,0 +1,114 @@
+//! Schedule-space coverage run: bounded exhaustive enumeration plus a
+//! seeded random swarm over the topology suite, at both levels of the
+//! stack (Algorithm 1 over shared objects, and the message-passing
+//! deployment under the kernel simulator).
+//!
+//! Run with: `cargo run -p gam-bench --bin explore [-- quick]`
+//! Output:   stdout summary + `target/experiments/explore.json`
+
+use gam_bench::json::{write_experiment, Json};
+use gam_explore::kernel::{replay_run, swarm_run};
+use gam_explore::{explore_exhaustive, explore_swarm, Scenario};
+use gam_groups::topology;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick");
+    // fig1 branches ~10 ways per level, so these depths exhaust the tree
+    // well within the run caps (and within a CI smoke budget).
+    let (depth, seeds, kernel_seeds) = if quick { (3, 16, 4) } else { (4, 64, 16) };
+
+    let mut rows = Vec::new();
+    let mut total_runs = 0u64;
+    let mut total_violations = 0usize;
+
+    // ---- Exhaustive enumeration over the first choices of fig1 ----------
+    println!("exhaustive: fig1, first {depth} choices");
+    let scenario = Scenario::one_per_group(&topology::fig1(), 200_000);
+    let stats = explore_exhaustive(&scenario, depth, if quick { 2_000 } else { 20_000 });
+    println!(
+        "  {} runs, complete: {}, violations: {}",
+        stats.runs,
+        stats.complete,
+        stats.violations.len()
+    );
+    assert!(
+        stats.violations.is_empty(),
+        "exhaustive pass over fig1 found a violation: {:?}",
+        stats.violations
+    );
+    assert!(stats.complete, "exhaustive pass hit its run cap");
+    total_runs += stats.runs;
+    rows.push(Json::obj([
+        ("mode", Json::from("exhaustive")),
+        ("topology", Json::from("fig1")),
+        ("depth", Json::from(depth)),
+        ("runs", Json::from(stats.runs)),
+        ("complete", Json::from(stats.complete)),
+        ("violations", Json::from(stats.violations.len())),
+    ]));
+
+    // ---- Random swarm over the whole suite -------------------------------
+    for (name, gs) in topology::suite() {
+        let scenario = Scenario::one_per_group(&gs, 500_000);
+        let stats = explore_swarm(&scenario, 0..seeds);
+        println!(
+            "swarm: {name:<24} {} seeds, violations: {}",
+            stats.runs,
+            stats.violations.len()
+        );
+        total_runs += stats.runs;
+        total_violations += stats.violations.len();
+        for cx in &stats.violations {
+            println!("  !! {}: {}", cx.violation.property, cx.violation.detail);
+            println!("{}", cx.repro.to_text());
+        }
+        rows.push(Json::obj([
+            ("mode", Json::from("swarm")),
+            ("topology", Json::from(name)),
+            ("seeds", Json::from(stats.runs)),
+            ("complete", Json::from(stats.complete)),
+            ("violations", Json::from(stats.violations.len())),
+        ]));
+    }
+
+    // ---- Kernel-level (message passing) swarm with replay check ----------
+    for (name, gs) in [
+        ("two_overlapping(3,1)", topology::two_overlapping(3, 1)),
+        ("ring(3,2)", topology::ring(3, 2)),
+    ] {
+        let mut bad = 0usize;
+        for seed in 0..kernel_seeds {
+            let run = swarm_run(&gs, seed, 2_000_000);
+            if let Some(v) = &run.violation {
+                println!("kernel swarm {name} seed {seed}: {v}");
+                bad += 1;
+                continue;
+            }
+            let replayed = replay_run(&gs, &run.schedule, 2_000_000);
+            assert_eq!(
+                replayed.hash, run.hash,
+                "kernel replay diverged ({name}, seed {seed})"
+            );
+        }
+        println!("kernel swarm: {name:<24} {kernel_seeds} seeds, violations: {bad}");
+        total_runs += 2 * kernel_seeds; // swarm + replay
+        total_violations += bad;
+        rows.push(Json::obj([
+            ("mode", Json::from("kernel-swarm")),
+            ("topology", Json::from(name)),
+            ("seeds", Json::from(kernel_seeds)),
+            ("complete", Json::from(true)),
+            ("violations", Json::from(bad)),
+        ]));
+    }
+
+    let record = Json::obj([
+        ("quick", Json::from(quick)),
+        ("total_runs", Json::from(total_runs)),
+        ("total_violations", Json::from(total_violations)),
+        ("passes", Json::Arr(rows)),
+    ]);
+    write_experiment("explore.json", &record);
+    println!("\n{total_runs} runs, {total_violations} violations");
+    assert_eq!(total_violations, 0, "schedule exploration found violations");
+}

@@ -9,10 +9,10 @@
 //!
 //! Run with: `cargo run -p gam-bench --bin fig1`
 
+use gam_bench::json::{write_experiment, Json};
 use gam_detectors::{GammaOracle, OmegaMode, OmegaOracle, SigmaMode, SigmaOracle};
 use gam_groups::{topology, GroupId, GroupSet};
 use gam_kernel::{FailurePattern, ProcessId, Time};
-use serde::Serialize;
 
 fn paper_name(p: ProcessId) -> String {
     format!("p{}", p.0 + 1)
@@ -30,19 +30,6 @@ fn family_name(f: GroupSet, gs: &gam_groups::GroupSystem) -> &'static str {
     } else {
         "?"
     }
-}
-
-#[derive(Serialize)]
-struct Fig1Record {
-    groups: Vec<String>,
-    cyclic_families: Vec<String>,
-    families_of_g2: Vec<String>,
-    families_of_p1: usize,
-    families_of_p5: usize,
-    f_faulty_when_p2_fails: bool,
-    fprime_faulty_when_p2_fails: bool,
-    gamma_g1_after_stabilisation: String,
-    all_checks_pass: bool,
 }
 
 fn main() {
@@ -93,7 +80,9 @@ fn main() {
     let f_faulty = gs.family_faulty(fam_f, crash_p2.faulty());
     let fpp_faulty = gs.family_faulty(gs.all(), crash_p2.faulty());
     let fp_faulty = gs.family_faulty(fam_fp, crash_p2.faulty());
-    println!("\nwhen p2 fails: 𝔣 faulty = {f_faulty}, 𝔣″ faulty = {fpp_faulty}, 𝔣′ faulty = {fp_faulty}");
+    println!(
+        "\nwhen p2 fails: 𝔣 faulty = {f_faulty}, 𝔣″ faulty = {fpp_faulty}, 𝔣′ faulty = {fp_faulty}"
+    );
 
     // §3's detector walkthrough with Correct = {p1, p4, p5}.
     let pattern = FailurePattern::from_crashes(
@@ -104,7 +93,10 @@ fn main() {
     let sigma = SigmaOracle::new(gs.universe(), pattern.clone(), SigmaMode::Alive);
     let q = sigma.quorum(ProcessId(0), Time(20)).unwrap();
     let qn: Vec<String> = q.iter().map(paper_name).collect();
-    println!("  Σ eventually returns only correct processes: {{{}}}", qn.join(", "));
+    println!(
+        "  Σ eventually returns only correct processes: {{{}}}",
+        qn.join(", ")
+    );
     let omega = OmegaOracle::new(gs.universe(), pattern.clone(), OmegaMode::MinAlive);
     println!(
         "  Ω eventually elects {} forever",
@@ -136,24 +128,25 @@ fn main() {
         && !fp_faulty
         && after == vec![fam_fp]
         && gamma_g1 == expected_gamma_g1;
-    println!("\nall Figure 1 claims verified: {}", if all_ok { "YES" } else { "NO" });
+    println!(
+        "\nall Figure 1 claims verified: {}",
+        if all_ok { "YES" } else { "NO" }
+    );
 
-    let record = Fig1Record {
-        groups,
-        cyclic_families: fam_lines,
-        families_of_g2: of_g2,
-        families_of_p1: of_p1,
-        families_of_p5: of_p5,
-        f_faulty_when_p2_fails: f_faulty,
-        fprime_faulty_when_p2_fails: fp_faulty,
-        gamma_g1_after_stabilisation: format!("{gamma_g1:?}"),
-        all_checks_pass: all_ok,
-    };
-    std::fs::create_dir_all("target/experiments").expect("create output dir");
-    std::fs::write(
-        "target/experiments/fig1.json",
-        serde_json::to_string_pretty(&record).expect("serialize"),
-    )
-    .expect("write fig1.json");
+    let record = Json::obj([
+        ("groups", Json::from_iter(groups)),
+        ("cyclic_families", Json::from_iter(fam_lines)),
+        ("families_of_g2", Json::from_iter(of_g2)),
+        ("families_of_p1", Json::from(of_p1)),
+        ("families_of_p5", Json::from(of_p5)),
+        ("f_faulty_when_p2_fails", Json::from(f_faulty)),
+        ("fprime_faulty_when_p2_fails", Json::from(fp_faulty)),
+        (
+            "gamma_g1_after_stabilisation",
+            Json::from(format!("{gamma_g1:?}")),
+        ),
+        ("all_checks_pass", Json::from(all_ok)),
+    ]);
+    write_experiment("fig1.json", &record);
     assert!(all_ok, "Figure 1 reproduction failed");
 }

@@ -13,13 +13,12 @@
 //! Run with: `cargo run -p gam-bench --bin perf`
 //! Output:   stdout tables + `target/experiments/perf.json`
 
+use gam_bench::json::{write_experiment, Json};
 use gam_core::baseline::BroadcastBased;
 use gam_core::{Runtime, RuntimeConfig};
 use gam_groups::{topology, GroupId};
 use gam_kernel::{FailurePattern, ProcessSet};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Perf1Row {
     groups: usize,
     genuine_total_steps: u64,
@@ -28,16 +27,9 @@ struct Perf1Row {
     broadcast_unaddressed_steps: u64,
 }
 
-#[derive(Serialize)]
 struct Perf2Row {
     chain_ahead: usize,
     delivery_latency_actions: u64,
-}
-
-#[derive(Serialize)]
-struct PerfRecord {
-    perf1: Vec<Perf1Row>,
-    perf2: Vec<Perf2Row>,
 }
 
 fn unaddressed_steps(report: &gam_core::RunReport, addressed: ProcessSet) -> u64 {
@@ -53,7 +45,10 @@ fn unaddressed_steps(report: &gam_core::RunReport, addressed: ProcessSet) -> u64
 fn main() {
     // ---- Perf-1: genuine vs naive, one message to the first group -------
     println!("Perf-1: steps for a single message to g1, k disjoint groups of 3");
-    println!("{:<8} {:>16} {:>14} {:>16} {:>14}", "k", "genuine total", "(unaddressed)", "broadcast total", "(unaddressed)");
+    println!(
+        "{:<8} {:>16} {:>14} {:>16} {:>14}",
+        "k", "genuine total", "(unaddressed)", "broadcast total", "(unaddressed)"
+    );
     let mut perf1 = Vec::new();
     for k in [1usize, 2, 4, 8, 16, 32] {
         let gs = topology::disjoint(k, 3);
@@ -87,12 +82,12 @@ fn main() {
     // shape checks: genuine never touches unaddressed processes; the
     // broadcast's unaddressed work grows with k.
     assert!(perf1.iter().all(|r| r.genuine_unaddressed_steps == 0));
-    assert!(perf1.windows(2).all(|w| {
-        w[1].broadcast_unaddressed_steps > w[0].broadcast_unaddressed_steps
-    }));
-    assert!(perf1.windows(2).all(|w| {
-        w[1].genuine_total_steps == w[0].genuine_total_steps
-    }));
+    assert!(perf1
+        .windows(2)
+        .all(|w| { w[1].broadcast_unaddressed_steps > w[0].broadcast_unaddressed_steps }));
+    assert!(perf1
+        .windows(2)
+        .all(|w| { w[1].genuine_total_steps == w[0].genuine_total_steps }));
 
     // ---- Perf-2: the convoy effect on a chain ---------------------------
     // chain(k, 3): g1-g2-...-gk. Submit one message to every group except
@@ -132,11 +127,46 @@ fn main() {
         .windows(2)
         .all(|w| w[1].delivery_latency_actions > w[0].delivery_latency_actions));
 
-    std::fs::create_dir_all("target/experiments").expect("create output dir");
-    std::fs::write(
-        "target/experiments/perf.json",
-        serde_json::to_string_pretty(&PerfRecord { perf1, perf2 }).expect("serialize"),
-    )
-    .expect("write perf.json");
-    println!("\nshape checks passed: genuine minimality flat at 0; broadcast waste grows; convoy grows");
+    let record = Json::obj([
+        (
+            "perf1",
+            perf1
+                .iter()
+                .map(|r| {
+                    Json::obj([
+                        ("groups", Json::from(r.groups)),
+                        ("genuine_total_steps", Json::from(r.genuine_total_steps)),
+                        (
+                            "genuine_unaddressed_steps",
+                            Json::from(r.genuine_unaddressed_steps),
+                        ),
+                        ("broadcast_total_steps", Json::from(r.broadcast_total_steps)),
+                        (
+                            "broadcast_unaddressed_steps",
+                            Json::from(r.broadcast_unaddressed_steps),
+                        ),
+                    ])
+                })
+                .collect::<Json>(),
+        ),
+        (
+            "perf2",
+            perf2
+                .iter()
+                .map(|r| {
+                    Json::obj([
+                        ("chain_ahead", Json::from(r.chain_ahead)),
+                        (
+                            "delivery_latency_actions",
+                            Json::from(r.delivery_latency_actions),
+                        ),
+                    ])
+                })
+                .collect::<Json>(),
+        ),
+    ]);
+    write_experiment("perf.json", &record);
+    println!(
+        "\nshape checks passed: genuine minimality flat at 0; broadcast waste grows; convoy grows"
+    );
 }

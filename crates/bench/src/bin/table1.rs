@@ -10,15 +10,14 @@
 //! Run with: `cargo run -p gam-bench --bin table1`
 //! Output:   stdout table + `target/experiments/table1.json`
 
+use gam_bench::json::{write_experiment, Json};
 use gam_bench::{classify, crash_first_intersection, one_per_group_workload, Outcome};
 use gam_core::baseline::BroadcastBased;
 use gam_core::variants::{check_group_parallelism, check_group_parallelism_staged};
 use gam_core::{spec, Runtime, RuntimeConfig, Variant};
 use gam_groups::{topology, GroupId};
 use gam_kernel::{FailurePattern, ProcessId, ProcessSet, Time};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     genuine: &'static str,
     order: &'static str,
@@ -47,10 +46,7 @@ fn main() {
             order: "global",
             detector: "Ω ∧ Σ",
             scenario: "broadcast-based on disjoint(3x2)".into(),
-            outcome: format!(
-                "ordering+termination: {}, minimality: {}",
-                ordered, minimal
-            ),
+            outcome: format!("ordering+termination: {}, minimality: {}", ordered, minimal),
             expected: "orders globally but not minimal",
             matches: ordered && !minimal,
         });
@@ -115,8 +111,7 @@ fn main() {
         let out = classify(&gs, pattern, late_cfg, 300_000);
         // the runtime quiesces with the message stuck before `stable`:
         // a termination violation (equivalently, blocked liveness)
-        let matches =
-            matches!(out, Outcome::Blocked | Outcome::Violated("termination"));
+        let matches = matches!(out, Outcome::Blocked | Outcome::Violated("termination"));
         rows.push(Row {
             genuine: "✓",
             order: "strict",
@@ -201,7 +196,11 @@ fn main() {
             order: "global",
             detector: "μ ∧ (∧ Ω_{g∩h}), ℱ=∅",
             scenario: "chain(3,3), every group isolated".into(),
-            outcome: if ok { "solved".into() } else { "blocked".into() },
+            outcome: if ok {
+                "solved".into()
+            } else {
+                "blocked".into()
+            },
             expected: "solved",
             matches: ok,
         });
@@ -220,7 +219,11 @@ fn main() {
             order: "global",
             detector: "μ (ℱ≠∅, contended)",
             scenario: "ring(3,2), isolated g1 after g2 contention".into(),
-            outcome: if blocked { "blocked".into() } else { "solved".into() },
+            outcome: if blocked {
+                "blocked".into()
+            } else {
+                "solved".into()
+            },
             expected: "blocked",
             matches: blocked,
         });
@@ -281,7 +284,8 @@ fn main() {
         let mut sim = Simulator::new(autos, pattern, MuHistory::new(mu));
         for g in 0..3u32 {
             let src = gs.members(GroupId(g)).min().unwrap();
-            sim.automaton_mut(src).multicast(MessageId(g as u64), GroupId(g));
+            sim.automaton_mut(src)
+                .multicast(MessageId(g as u64), GroupId(g));
         }
         let out = sim.run(Scheduler::RoundRobin, 10_000_000);
         let all_delivered = (0..3u32).all(|g| {
@@ -298,7 +302,11 @@ fn main() {
                 "ring(3,2) over the wire, {} protocol messages",
                 sim.total_messages()
             ),
-            outcome: if solved { "solved".into() } else { "blocked".into() },
+            outcome: if solved {
+                "solved".into()
+            } else {
+                "blocked".into()
+            },
             expected: "solved",
             matches: solved,
         });
@@ -322,12 +330,21 @@ fn main() {
             if r.matches { "✔" } else { "✘" }
         );
     }
-    std::fs::create_dir_all("target/experiments").expect("create output dir");
-    std::fs::write(
-        "target/experiments/table1.json",
-        serde_json::to_string_pretty(&rows).expect("serialize"),
-    )
-    .expect("write table1.json");
+    let record: Json = rows
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("genuine", Json::from(r.genuine)),
+                ("order", Json::from(r.order)),
+                ("detector", Json::from(r.detector)),
+                ("scenario", Json::from(r.scenario.clone())),
+                ("outcome", Json::from(r.outcome.clone())),
+                ("expected", Json::from(r.expected)),
+                ("matches", Json::from(r.matches)),
+            ])
+        })
+        .collect();
+    write_experiment("table1.json", &record);
     println!(
         "\n{} rows; all match the paper: {}",
         rows.len(),

@@ -19,9 +19,7 @@
 use crate::message::{MessageId, MessageInfo};
 use crate::runtime::{Delivery, RunReport};
 use gam_groups::{GroupId, GroupSystem};
-use gam_kernel::{
-    Automaton, Envelope, FailurePattern, ProcessId, ProcessSet, StepCtx, Time,
-};
+use gam_kernel::{Automaton, Envelope, FailurePattern, ProcessId, ProcessSet, StepCtx, Time};
 use std::collections::{BTreeMap, HashMap};
 
 /// The naive multicast over one global atomic broadcast.
@@ -383,8 +381,7 @@ impl Automaton for SkeenProcess {
         }
         // Launch queued multicasts.
         for (m, group) in std::mem::take(&mut self.outbox) {
-            self.collecting
-                .insert(m, (group, ProcessSet::EMPTY, 0));
+            self.collecting.insert(m, (group, ProcessSet::EMPTY, 0));
             ctx.send(self.system.members(group), SkeenMsg::Propose { m, group });
         }
     }
@@ -459,10 +456,7 @@ mod tests {
         );
     }
 
-    fn skeen_sim(
-        gs: &GroupSystem,
-        pattern: FailurePattern,
-    ) -> Simulator<SkeenProcess, NoDetector> {
+    fn skeen_sim(gs: &GroupSystem, pattern: FailurePattern) -> Simulator<SkeenProcess, NoDetector> {
         let n = gs.universe().len();
         let autos = (0..n)
             .map(|i| SkeenProcess::new(ProcessId(i as u32), gs))
@@ -479,7 +473,8 @@ mod tests {
             // concurrent multicasts to all four groups
             for g in 0..4u32 {
                 let src = gs.members(GroupId(g)).min().unwrap();
-                sim.automaton_mut(src).multicast(MessageId(g as u64), GroupId(g));
+                sim.automaton_mut(src)
+                    .multicast(MessageId(g as u64), GroupId(g));
             }
             let out = sim.run(Scheduler::Random { null_prob: 0.2 }, 1_000_000);
             assert_eq!(out, RunOutcome::Quiescent);
@@ -531,10 +526,10 @@ mod tests {
         // A destination crashes before replying: the message never gets a
         // final timestamp and no one delivers it.
         let gs = topology::single_group(3);
-        let pattern =
-            FailurePattern::from_crashes(gs.universe(), [(ProcessId(2), Time(1))]);
+        let pattern = FailurePattern::from_crashes(gs.universe(), [(ProcessId(2), Time(1))]);
         let mut sim = skeen_sim(&gs, pattern);
-        sim.automaton_mut(ProcessId(0)).multicast(MessageId(0), GroupId(0));
+        sim.automaton_mut(ProcessId(0))
+            .multicast(MessageId(0), GroupId(0));
         sim.run(Scheduler::RoundRobin, 100_000);
         for p in [ProcessId(0), ProcessId(1)] {
             assert_eq!(sim.trace().events_of(p).count(), 0, "{p} must block");

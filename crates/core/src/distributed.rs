@@ -24,9 +24,7 @@ use crate::message::{Datum, MessageId};
 use crate::phase::Phase;
 use gam_detectors::MuOracle;
 use gam_groups::{GroupId, GroupSet, GroupSystem};
-use gam_kernel::{
-    Automaton, Envelope, History, ProcessId, ProcessSet, StepCtx, Time,
-};
+use gam_kernel::{Automaton, Envelope, History, ProcessId, ProcessSet, StepCtx, Time};
 use gam_objects::{
     Decided, FastLogFd, FastLogMsg, FastLogProcess, Log, OmegaSigma, PaxosMsg, PaxosProcess, Pos,
     SlotDecided,
@@ -398,14 +396,16 @@ impl DistProcess {
                     // client layer: inject m into LOG_g (help-multicast),
                     // in submission (id) order per group
                     if !group_log.contains(&Datum::Msg(m)) {
-                        let earlier_pending = self
-                            .known
-                            .iter()
-                            .any(|(m2, g2)| *g2 == g && *m2 < m && self.phase_of(*m2) != Phase::Deliver);
+                        let earlier_pending = self.known.iter().any(|(m2, g2)| {
+                            *g2 == g && *m2 < m && self.phase_of(*m2) != Phase::Deliver
+                        });
                         if !earlier_pending {
                             self.saga = Some(Saga {
                                 msg: m,
-                                ops: VecDeque::from([Op::Group(g, GroupCmd::Append(Datum::Msg(m)))]),
+                                ops: VecDeque::from([Op::Group(
+                                    g,
+                                    GroupCmd::Append(Datum::Msg(m)),
+                                )]),
                                 issued: false,
                                 then: None,
                             });
@@ -466,10 +466,7 @@ impl DistProcess {
                                 .unwrap_or(1);
                             self.saga = Some(Saga {
                                 msg: m,
-                                ops: VecDeque::from([Op::Group(
-                                    g,
-                                    GroupCmd::ConsPropose(m, f, k),
-                                )]),
+                                ops: VecDeque::from([Op::Group(g, GroupCmd::ConsPropose(m, f, k))]),
                                 issued: false,
                                 then: None,
                             });
@@ -751,10 +748,7 @@ mod tests {
     use gam_groups::topology;
     use gam_kernel::{FailurePattern, RunOutcome, Scheduler, Simulator};
 
-    fn system(
-        gs: &GroupSystem,
-        pattern: FailurePattern,
-    ) -> Simulator<DistProcess, MuHistory> {
+    fn system(gs: &GroupSystem, pattern: FailurePattern) -> Simulator<DistProcess, MuHistory> {
         let n = gs.universe().len();
         let autos = (0..n)
             .map(|i| DistProcess::new(ProcessId(i as u32), gs))
@@ -772,7 +766,8 @@ mod tests {
         let gs = topology::single_group(3);
         let pattern = FailurePattern::all_correct(gs.universe());
         let mut sim = system(&gs, pattern);
-        sim.automaton_mut(ProcessId(0)).multicast(MessageId(0), GroupId(0));
+        sim.automaton_mut(ProcessId(0))
+            .multicast(MessageId(0), GroupId(0));
         let out = sim.run(Scheduler::RoundRobin, 2_000_000);
         assert_eq!(out, RunOutcome::Quiescent);
         for p in gs.universe() {
@@ -785,8 +780,10 @@ mod tests {
         let gs = topology::two_overlapping(3, 1); // g1={p0..p2}, g2={p2..p4}
         let pattern = FailurePattern::all_correct(gs.universe());
         let mut sim = system(&gs, pattern);
-        sim.automaton_mut(ProcessId(0)).multicast(MessageId(0), GroupId(0));
-        sim.automaton_mut(ProcessId(4)).multicast(MessageId(1), GroupId(1));
+        sim.automaton_mut(ProcessId(0))
+            .multicast(MessageId(0), GroupId(0));
+        sim.automaton_mut(ProcessId(4))
+            .multicast(MessageId(1), GroupId(1));
         let out = sim.run(Scheduler::RoundRobin, 5_000_000);
         assert_eq!(out, RunOutcome::Quiescent);
         for p in gs.members(GroupId(0)) {
@@ -806,7 +803,8 @@ mod tests {
         let gs = topology::disjoint(2, 3); // g1={p0..p2}, g2={p3..p5}
         let pattern = FailurePattern::all_correct(gs.universe());
         let mut sim = system(&gs, pattern);
-        sim.automaton_mut(ProcessId(0)).multicast(MessageId(0), GroupId(0));
+        sim.automaton_mut(ProcessId(0))
+            .multicast(MessageId(0), GroupId(0));
         let out = sim.run(Scheduler::RoundRobin, 2_000_000);
         assert_eq!(out, RunOutcome::Quiescent);
         for p in gs.members(GroupId(0)) {
@@ -824,8 +822,10 @@ mod tests {
         for seed in 0..3u64 {
             let pattern = FailurePattern::all_correct(gs.universe());
             let mut sim = system(&gs, pattern).with_seed(seed);
-            sim.automaton_mut(ProcessId(0)).multicast(MessageId(0), GroupId(0));
-            sim.automaton_mut(ProcessId(2)).multicast(MessageId(1), GroupId(1));
+            sim.automaton_mut(ProcessId(0))
+                .multicast(MessageId(0), GroupId(0));
+            sim.automaton_mut(ProcessId(2))
+                .multicast(MessageId(1), GroupId(1));
             let out = sim.run(Scheduler::Random { null_prob: 0.2 }, 5_000_000);
             assert_eq!(out, RunOutcome::Quiescent, "seed {seed}");
             assert_eq!(delivered(&sim, ProcessId(1)).len(), 2, "seed {seed}");
@@ -876,12 +876,11 @@ mod tests {
         // a non-intersection member of g1 crashes; Σ_g1 adapts and the
         // group SMR keeps deciding
         let gs = topology::two_overlapping(3, 1);
-        let pattern = FailurePattern::from_crashes(
-            gs.universe(),
-            [(ProcessId(1), gam_kernel::Time(30))],
-        );
+        let pattern =
+            FailurePattern::from_crashes(gs.universe(), [(ProcessId(1), gam_kernel::Time(30))]);
         let mut sim = system(&gs, pattern.clone());
-        sim.automaton_mut(ProcessId(0)).multicast(MessageId(0), GroupId(0));
+        sim.automaton_mut(ProcessId(0))
+            .multicast(MessageId(0), GroupId(0));
         let out = sim.run(Scheduler::RoundRobin, 5_000_000);
         assert_eq!(out, RunOutcome::Quiescent);
         for p in gs.members(GroupId(0)) & pattern.correct() {

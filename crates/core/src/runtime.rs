@@ -24,7 +24,7 @@ use crate::message::{Datum, MessageId, MessageInfo};
 use crate::phase::Phase;
 use gam_detectors::{IndicatorMode, IndicatorOracle, MuConfig, MuOracle};
 use gam_groups::{GroupId, GroupSet, GroupSystem};
-use gam_kernel::{FailurePattern, ProcessId, ProcessSet, Time};
+use gam_kernel::{FailurePattern, ProcessId, ProcessSet, RunOutcome, ScheduleSource, Time};
 use gam_objects::{Consensus, Log, Pos};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -289,8 +289,7 @@ impl Runtime {
         // Inject: the first locally-undelivered message of L_g, unless it is
         // already in LOG_g.
         for g in my_groups {
-            if let Some(m) = self
-                .lists[g.index()]
+            if let Some(m) = self.lists[g.index()]
                 .iter()
                 .find(|m| self.phase_of(p, **m) != Phase::Deliver)
             {
@@ -415,6 +414,14 @@ impl Runtime {
     /// `m` is locally delivered.
     fn deliver_enabled(&self, p: ProcessId, m: MessageId, g: GroupId) -> bool {
         for h in self.groups_of(p) {
+            // Deliberate mutation for explorer smoke-testing: ignore the
+            // ordering constraints of the cross-group logs `LOG_{g∩h}`, so
+            // overlap replicas may deliver concurrent messages of different
+            // groups in different orders. Never enabled in normal builds.
+            #[cfg(feature = "mutation")]
+            if h != g {
+                continue;
+            }
             if !self.log(g, h).contains(&Datum::Msg(m)) {
                 continue;
             }
@@ -479,7 +486,10 @@ impl Runtime {
             }
             Action::Deliver(m) => {
                 self.phase[p.index()].insert(m, Phase::Deliver);
-                self.delivered[p.index()].push(Delivery { msg: m, at: self.now });
+                self.delivered[p.index()].push(Delivery {
+                    msg: m,
+                    at: self.now,
+                });
             }
         }
     }
@@ -539,9 +549,7 @@ impl Runtime {
                     let mut chosen = None;
                     for off in 0..n {
                         let idx = (self.rr_cursor + off) % n;
-                        if let Some((p, acts)) =
-                            candidates.iter().find(|(p, _)| p.index() == idx)
-                        {
+                        if let Some((p, acts)) = candidates.iter().find(|(p, _)| p.index() == idx) {
                             self.rr_cursor = (idx + 1) % n;
                             chosen = Some((*p, *acts.iter().min().expect("non-empty")));
                             break;
@@ -554,6 +562,61 @@ impl Runtime {
                     (*p, acts[self.rng.gen_range(0..acts.len())])
                 }
             };
+            self.now = self.now.next();
+            if self.alive(p) {
+                self.apply(p, action);
+            }
+            taken += 1;
+        }
+    }
+
+    /// Runs with every scheduling decision delegated to `source`,
+    /// scheduling only the processes of `set`, until quiescence of `set`,
+    /// budget exhaustion, or the source stopping.
+    ///
+    /// The choice space handed to the source lists each live process of
+    /// `set` with at least one enabled action, in ascending process order,
+    /// paired with its enabled-action count; sub-choice `c` fires the
+    /// `c`-th enabled action in the deterministic [`Action`] order (so
+    /// sub-choice `0` is the action the round-robin scheduler would fire).
+    /// Idle ticks — the clock advancing while guards wait on time alone —
+    /// happen automatically and are not scheduling choices.
+    pub fn run_with_source<S: ScheduleSource>(
+        &mut self,
+        set: ProcessSet,
+        source: &mut S,
+        max_actions: u64,
+    ) -> RunOutcome {
+        let mut taken = 0u64;
+        loop {
+            if taken >= max_actions {
+                return RunOutcome::BudgetExhausted;
+            }
+            let candidates: Vec<(ProcessId, Vec<Action>)> = set
+                .iter()
+                .filter(|p| self.alive(*p))
+                .map(|p| {
+                    let mut acts = self.enabled_actions(p);
+                    acts.sort_unstable();
+                    (p, acts)
+                })
+                .filter(|(_, a)| !a.is_empty())
+                .collect();
+            if candidates.is_empty() {
+                if !self.has_obligations(set) {
+                    return RunOutcome::Quiescent;
+                }
+                self.now = self.now.next();
+                taken += 1;
+                continue;
+            }
+            let options: Vec<(ProcessId, usize)> =
+                candidates.iter().map(|(p, a)| (*p, a.len())).collect();
+            let Some((idx, choice)) = source.next_choice(&options) else {
+                return RunOutcome::Stopped;
+            };
+            let (p, acts) = &candidates[idx];
+            let (p, action) = (*p, acts[choice.min(acts.len() - 1)]);
             self.now = self.now.next();
             if self.alive(p) {
                 self.apply(p, action);

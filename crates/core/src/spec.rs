@@ -175,8 +175,8 @@ pub fn check_termination(report: &RunReport) -> Result<(), SpecViolation> {
     let correct = report.pattern.correct();
     for (i, info) in report.messages.iter().enumerate() {
         let m = MessageId(i as u64);
-        let delivered_somewhere = (0..report.delivered.len())
-            .any(|j| report.has_delivered(ProcessId(j as u32), m));
+        let delivered_somewhere =
+            (0..report.delivered.len()).any(|j| report.has_delivered(ProcessId(j as u32), m));
         let must_deliver = correct.contains(info.src) || delivered_somewhere;
         if !must_deliver {
             continue;
@@ -464,10 +464,7 @@ mod tests {
     #[test]
     fn termination_ignores_undelivered_faulty_multicast() {
         let mut r = base_report();
-        r.pattern = FailurePattern::from_crashes(
-            r.system.universe(),
-            [(ProcessId(0), Time(2))],
-        );
+        r.pattern = FailurePattern::from_crashes(r.system.universe(), [(ProcessId(0), Time(2))]);
         // m0 multicast by p0 (faulty), delivered nowhere: fine.
         deliver(&mut r, 1, 1, 5);
         deliver(&mut r, 2, 1, 6);

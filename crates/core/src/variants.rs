@@ -73,8 +73,8 @@ mod tests {
     use super::*;
     use crate::spec;
     use crate::{ActionScheduler, Variant};
-    use gam_kernel::ProcessId;
     use gam_groups::topology;
+    use gam_kernel::ProcessId;
     use gam_kernel::Time;
 
     fn config(variant: Variant) -> RuntimeConfig {
@@ -129,8 +129,7 @@ mod tests {
         // topology — γ(g) = ∅ but strict mode quantifies over *all*
         // intersecting groups).
         let gs = topology::two_overlapping(3, 1); // g∩h = {p2}
-        let pattern =
-            FailurePattern::from_crashes(gs.universe(), [(ProcessId(2), Time(2))]);
+        let pattern = FailurePattern::from_crashes(gs.universe(), [(ProcessId(2), Time(2))]);
         let mut rt = Runtime::new(&gs, pattern, config(Variant::Strict));
         let m = rt.multicast(ProcessId(0), GroupId(0), 0);
         let report = rt.run_to_quiescence(1_000_000);
@@ -163,8 +162,7 @@ mod tests {
             let report = rt.run_to_quiescence(1_000_000);
             spec::check_integrity(&report).unwrap();
             spec::check_termination(&report).unwrap();
-            spec::check_pairwise_ordering(&report)
-                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+            spec::check_pairwise_ordering(&report).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
         }
     }
 
@@ -194,7 +192,11 @@ mod tests {
     #[test]
     fn group_parallelism_holds_when_f_empty() {
         // Acyclic topologies: the isolated group delivers.
-        for gs in [topology::chain(4, 3), topology::disjoint(3, 3), topology::two_overlapping(3, 1)] {
+        for gs in [
+            topology::chain(4, 3),
+            topology::disjoint(3, 3),
+            topology::two_overlapping(3, 1),
+        ] {
             for (g, _) in gs.iter() {
                 check_group_parallelism(
                     &gs,
@@ -222,10 +224,9 @@ mod tests {
             config(Variant::Standard),
         );
         rt.multicast(ProcessId(1), GroupId(1), 99); // m2 → g2
-        // Warm up with only p1: m2 reaches LOG_{g1∩g2} but stays pending.
+                                                    // Warm up with only p1: m2 reaches LOG_{g1∩g2} but stays pending.
         rt.run_only(gam_kernel::ProcessSet::singleton(ProcessId(1)), 100_000);
-        let err =
-            check_group_parallelism_staged(&mut rt, GroupId(0), 200_000).unwrap_err();
+        let err = check_group_parallelism_staged(&mut rt, GroupId(0), 200_000).unwrap_err();
         // Both members block: p1 waits for m2 in LOG_{g1∩g2}, and p0 waits
         // for the (m1,g2) stabilisation announcement only p1 could produce.
         assert_eq!(err.property, "group-parallelism");
@@ -254,8 +255,7 @@ mod tests {
         // reporting it and the isolated group can commit again.
         let gs = topology::ring(3, 2);
         // crash p2 — the g2∩g3 joint — making the single family faulty.
-        let pattern =
-            FailurePattern::from_crashes(gs.universe(), [(ProcessId(2), Time(0))]);
+        let pattern = FailurePattern::from_crashes(gs.universe(), [(ProcessId(2), Time(0))]);
         check_group_parallelism(
             &gs,
             pattern,

@@ -116,11 +116,7 @@ impl GammaOracle {
 /// time... more precisely, `f` is faulty at `t` iff every cycle has a crashed
 /// edge at `t`; monotone, so the threshold is
 /// `max over cycles of (min over edges of edge-crash-time)`.
-fn family_faulty_from(
-    system: &GroupSystem,
-    pattern: &FailurePattern,
-    f: GroupSet,
-) -> Option<Time> {
+fn family_faulty_from(system: &GroupSystem, pattern: &FailurePattern, f: GroupSet) -> Option<Time> {
     let cycles = system.hamiltonian_cycles(f);
     let mut threshold = Time::ZERO;
     for c in cycles {
@@ -164,7 +160,10 @@ mod tests {
         // Initially γ at p1 returns {𝔣, 𝔣', 𝔣''}.
         assert_eq!(gamma.families(ProcessId(0), Time(0)).len(), 3);
         // Once p2 is faulty, 𝔣 and 𝔣'' are faulty; output stabilises to {𝔣'}.
-        assert_eq!(gamma.families(ProcessId(0), Time(5)), vec![gset(&[0, 2, 3])]);
+        assert_eq!(
+            gamma.families(ProcessId(0), Time(5)),
+            vec![gset(&[0, 2, 3])]
+        );
         // When this happens, γ(g1) = {g3, g4}.
         assert_eq!(
             gamma.groups(ProcessId(0), GroupId(0), Time(5)),
@@ -234,10 +233,7 @@ mod tests {
     fn faulty_from_is_max_over_cycles_min_over_edges() {
         // Ring of 4: single cycle; crashing one joint process kills it.
         let gs = topology::ring(4, 2);
-        let pattern = FailurePattern::from_crashes(
-            gs.universe(),
-            [(ProcessId(0), Time(9))],
-        );
+        let pattern = FailurePattern::from_crashes(gs.universe(), [(ProcessId(0), Time(9))]);
         let f = GroupSet::first_n(4);
         assert_eq!(family_faulty_from(&gs, &pattern, f), Some(Time(9)));
         let no_crash = FailurePattern::all_correct(gs.universe());
@@ -249,8 +245,7 @@ mod tests {
         // In a hub topology every intersection is {hub}; the family dies
         // exactly when the hub does.
         let gs = topology::hub(3, 2);
-        let pattern =
-            FailurePattern::from_crashes(gs.universe(), [(ProcessId(0), Time(2))]);
+        let pattern = FailurePattern::from_crashes(gs.universe(), [(ProcessId(0), Time(2))]);
         let gamma = GammaOracle::new(&gs, pattern, 0);
         // hub is p0; spokes p1..p3. The spoke processes belong to no
         // intersection, so ℱ(p_i) = ∅ for them; the hub sees the family

@@ -163,17 +163,22 @@ mod tests {
             MuConfig::default(),
         );
         // g2 ∩ g4 = ∅
-        assert_eq!(mu.sigma(GroupId(1), GroupId(3), ProcessId(1), Time(0)), None);
+        assert_eq!(
+            mu.sigma(GroupId(1), GroupId(3), ProcessId(1), Time(0)),
+            None
+        );
     }
 
     #[test]
     fn omega_scoped_to_group_members() {
         let gs = topology::fig1();
-        let pattern =
-            FailurePattern::from_crashes(gs.universe(), [(ProcessId(1), Time(2))]);
+        let pattern = FailurePattern::from_crashes(gs.universe(), [(ProcessId(1), Time(2))]);
         let mu = MuOracle::new(&gs, pattern, MuConfig::default());
         // In g2 = {p2, p3}, after p2 crashes, p3 leads.
-        assert_eq!(mu.omega(GroupId(1), ProcessId(2), Time(9)), Some(ProcessId(2)));
+        assert_eq!(
+            mu.omega(GroupId(1), ProcessId(2), Time(9)),
+            Some(ProcessId(2))
+        );
         // p1 ∉ g2 gets ⊥.
         assert_eq!(mu.omega(GroupId(1), ProcessId(0), Time(9)), None);
     }
@@ -181,8 +186,7 @@ mod tests {
     #[test]
     fn gamma_component_matches_standalone_oracle() {
         let gs = topology::fig1();
-        let pattern =
-            FailurePattern::from_crashes(gs.universe(), [(ProcessId(1), Time(4))]);
+        let pattern = FailurePattern::from_crashes(gs.universe(), [(ProcessId(1), Time(4))]);
         let mu = MuOracle::new(&gs, pattern.clone(), MuConfig::default());
         let standalone = GammaOracle::new(&gs, pattern, 0);
         for t in [0u64, 4, 10] {

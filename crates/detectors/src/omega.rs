@@ -175,7 +175,11 @@ mod tests {
 
     #[test]
     fn fixed_mode_outputs_the_named_leader() {
-        let omega = OmegaOracle::new(ProcessSet::first_n(4), pattern(), OmegaMode::Fixed(ProcessId(1)));
+        let omega = OmegaOracle::new(
+            ProcessSet::first_n(4),
+            pattern(),
+            OmegaMode::Fixed(ProcessId(1)),
+        );
         for t in 0..10u64 {
             assert_eq!(omega.leader(ProcessId(3), Time(t)), Some(ProcessId(1)));
         }
@@ -184,7 +188,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "correct member")]
     fn fixed_mode_rejects_faulty_leader() {
-        OmegaOracle::new(ProcessSet::first_n(4), pattern(), OmegaMode::Fixed(ProcessId(0)));
+        OmegaOracle::new(
+            ProcessSet::first_n(4),
+            pattern(),
+            OmegaMode::Fixed(ProcessId(0)),
+        );
     }
 
     #[test]

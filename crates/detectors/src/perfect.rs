@@ -87,7 +87,10 @@ mod tests {
             FailurePattern::from_crashes(ProcessSet::first_n(2), [(ProcessId(0), Time(2))]);
         let p = PerfectOracle::new(pattern.clone(), 0);
         for t in 0..6u64 {
-            assert_eq!(p.suspected(ProcessId(1), Time(t)), pattern.faulty_at(Time(t)));
+            assert_eq!(
+                p.suspected(ProcessId(1), Time(t)),
+                pattern.faulty_at(Time(t))
+            );
         }
     }
 }

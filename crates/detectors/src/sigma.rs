@@ -132,12 +132,7 @@ mod tests {
         let scope = ProcessSet::first_n(4);
         let sigma = SigmaOracle::new(scope, pattern(), SigmaMode::Alive);
         let samples: Vec<ProcessSet> = (0..20u64)
-            .flat_map(|t| {
-                scope
-                    .iter()
-                    .map(move |p| (p, Time(t)))
-                    .collect::<Vec<_>>()
-            })
+            .flat_map(|t| scope.iter().map(move |p| (p, Time(t))).collect::<Vec<_>>())
             .filter_map(|(p, t)| sigma.quorum(p, t))
             .collect();
         for a in &samples {

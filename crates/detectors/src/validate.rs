@@ -268,9 +268,14 @@ mod tests {
     fn sigma_validator_rejects_disjoint_quorums() {
         let scope = ProcessSet::first_n(4);
         let bogus = |p: ProcessId, _t: Time| Some(ProcessSet::singleton(p));
-        let err =
-            validate_sigma(bogus, &FailurePattern::all_correct(scope), scope, Time(0), Time(3))
-                .unwrap_err();
+        let err = validate_sigma(
+            bogus,
+            &FailurePattern::all_correct(scope),
+            scope,
+            Time(0),
+            Time(3),
+        )
+        .unwrap_err();
         assert_eq!(err.axiom, "intersection");
     }
 
@@ -307,14 +312,8 @@ mod tests {
         let pat = FailurePattern::from_crashes(gs.universe(), [(ProcessId(1), Time(5))]);
         for delay in [0u64, 3] {
             let o = GammaOracle::new(&gs, pat.clone(), delay);
-            validate_gamma(
-                |p, t| o.families(p, t),
-                &gs,
-                &pat,
-                Time(20),
-                Time(40),
-            )
-            .unwrap_or_else(|v| panic!("delay={delay}: {v}"));
+            validate_gamma(|p, t| o.families(p, t), &gs, &pat, Time(20), Time(40))
+                .unwrap_or_else(|v| panic!("delay={delay}: {v}"));
         }
     }
 

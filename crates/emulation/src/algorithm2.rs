@@ -189,8 +189,7 @@ mod tests {
     #[test]
     fn eventually_returns_exactly_the_correct_intersection() {
         let gs = topology::two_overlapping(3, 2); // g∩h = {p1,p2}
-        let pattern =
-            FailurePattern::from_crashes(gs.universe(), [(ProcessId(2), Time(4))]);
+        let pattern = FailurePattern::from_crashes(gs.universe(), [(ProcessId(2), Time(4))]);
         let mut ext = SigmaExtraction::new(&gs, pattern.clone(), &[GroupId(0), GroupId(1)]);
         drive(&mut ext, 100);
         // p1 is the only correct process of the intersection.
@@ -201,8 +200,7 @@ mod tests {
     #[test]
     fn single_group_emulates_sigma_g() {
         let gs = topology::single_group(4);
-        let pattern =
-            FailurePattern::from_crashes(gs.universe(), [(ProcessId(1), Time(6))]);
+        let pattern = FailurePattern::from_crashes(gs.universe(), [(ProcessId(1), Time(6))]);
         let mut ext = SigmaExtraction::new(&gs, pattern.clone(), &[GroupId(0)]);
         drive(&mut ext, 80);
         validate_sigma(

@@ -105,8 +105,10 @@ impl GammaExtraction {
             let k = probe.path.len() - 1;
             // lines 4–5: a live member of π[0]∩π[1] multicasts (p, 0).
             if probe.launched[0].is_none() {
-                let senders =
-                    self.system.intersection(probe.path.get(0), probe.path.get(1)) - crashed;
+                let senders = self
+                    .system
+                    .intersection(probe.path.get(0), probe.path.get(1))
+                    - crashed;
                 if let Some(p) = senders.min() {
                     probe.launched[0] = probe.bbox.multicast(p, probe.path.get(0), now);
                 }
@@ -131,8 +133,7 @@ impl GammaExtraction {
                     probe.signals.insert(i);
                     if probe.launched[i + 1].is_none() {
                         let p = live.min().expect("non-empty");
-                        probe.launched[i + 1] =
-                            probe.bbox.multicast(p, probe.path.get(i + 1), now);
+                        probe.launched[i + 1] = probe.bbox.multicast(p, probe.path.get(i + 1), now);
                     }
                 }
             }
@@ -215,11 +216,7 @@ mod tests {
         let n = system.universe().len();
         for t in 0..=horizon {
             ext.advance(Time(t));
-            samples.push(
-                (0..n)
-                    .map(|i| ext.families(ProcessId(i as u32)))
-                    .collect(),
-            );
+            samples.push((0..n).map(|i| ext.families(ProcessId(i as u32))).collect());
         }
         validate_gamma(
             |p, t| samples[t.0 as usize][p.index()].clone(),

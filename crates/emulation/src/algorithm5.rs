@@ -643,11 +643,7 @@ mod tests {
         FirstClaimWins::initial(proposals)
     }
 
-    fn samples(
-        scope: ProcessSet,
-        pattern: &FailurePattern,
-        horizon: u64,
-    ) -> Vec<Sample<()>> {
+    fn samples(scope: ProcessSet, pattern: &FailurePattern, horizon: u64) -> Vec<Sample<()>> {
         sample_dag(scope, pattern, horizon, |_, _| ())
     }
 
@@ -753,7 +749,11 @@ mod tests {
             64,
         );
         let gadget = tree.decision_gadget_detail().expect("gadget exists");
-        assert_eq!(gadget.kind, GadgetKind::Hook, "schedule-driven split is a hook");
+        assert_eq!(
+            gadget.kind,
+            GadgetKind::Hook,
+            "schedule-driven split is a hook"
+        );
     }
 
     #[test]

@@ -59,12 +59,7 @@ impl BlackBox {
 
     /// `A.multicast(m)` from `src` to `group` at time `now`. Ignored (and
     /// `None` returned) if the source is not a live participant.
-    pub fn multicast(
-        &mut self,
-        src: ProcessId,
-        group: GroupId,
-        now: Time,
-    ) -> Option<MessageId> {
+    pub fn multicast(&mut self, src: ProcessId, group: GroupId, now: Time) -> Option<MessageId> {
         if !self.participants.contains(src) || self.pattern.is_crashed(src, now) {
             return None;
         }
@@ -152,8 +147,7 @@ mod tests {
         // g = {p0,p1,p2}; participants {p0,p1}. Delivery blocked while p2 is
         // alive — a realistic A cannot rule out that p2 is merely slow.
         let gs = topology::two_overlapping(3, 1);
-        let pattern =
-            FailurePattern::from_crashes(gs.universe(), [(ProcessId(2), Time(10))]);
+        let pattern = FailurePattern::from_crashes(gs.universe(), [(ProcessId(2), Time(10))]);
         let x = ProcessSet::from_iter([0u32, 1]);
         let mut bb = BlackBox::new(&gs, pattern, x);
         let m = bb.multicast(ProcessId(0), GroupId(0), Time(1)).unwrap();
@@ -179,8 +173,7 @@ mod tests {
     #[test]
     fn crashed_source_cannot_multicast() {
         let gs = topology::two_overlapping(3, 1);
-        let pattern =
-            FailurePattern::from_crashes(gs.universe(), [(ProcessId(0), Time(0))]);
+        let pattern = FailurePattern::from_crashes(gs.universe(), [(ProcessId(0), Time(0))]);
         let mut bb = BlackBox::new(&gs, pattern, gs.members(GroupId(0)));
         assert!(bb.multicast(ProcessId(0), GroupId(0), Time(1)).is_none());
     }

@@ -28,5 +28,8 @@ mod blackbox;
 pub use algorithm2::SigmaExtraction;
 pub use algorithm3::GammaExtraction;
 pub use algorithm4::IndicatorExtraction;
-pub use algorithm5::{FirstClaimWins, Gadget, GadgetKind, LeaderDefers, OmegaExtraction, SimConfig, SimProcess, SimulationTree, Tag, Valency};
+pub use algorithm5::{
+    FirstClaimWins, Gadget, GadgetKind, LeaderDefers, OmegaExtraction, SimConfig, SimProcess,
+    SimulationTree, Tag, Valency,
+};
 pub use blackbox::BlackBox;

@@ -1,0 +1,163 @@
+//! The two exploration strategies: bounded exhaustive enumeration and a
+//! seeded random swarm.
+
+use crate::shrink::shrink;
+use crate::{PrefixTail, Repro, Scenario};
+use gam_core::spec::{check_all, SpecViolation};
+use gam_kernel::schedule::{PathSource, RandomSource, RecordingSource};
+use std::ops::Range;
+
+/// A spec violation found by exploration, shrunk and packaged for replay.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The shrunk, replayable run.
+    pub repro: Repro,
+    /// The violation the repro reproduces.
+    pub violation: SpecViolation,
+    /// Candidate runs the shrinker spent.
+    pub shrink_runs: u64,
+}
+
+/// What an exploration covered and found.
+#[derive(Debug, Clone)]
+pub struct ExploreStats {
+    /// Scheduled runs executed (excluding shrinker candidates).
+    pub runs: u64,
+    /// Counterexamples found (exploration stops at the first).
+    pub violations: Vec<Counterexample>,
+    /// Whether the whole space (all prefixes / all seeds) was covered.
+    pub complete: bool,
+}
+
+impl ExploreStats {
+    /// True when the space was fully covered with no violation.
+    pub fn clean(&self) -> bool {
+        self.complete && self.violations.is_empty()
+    }
+}
+
+fn found(
+    scenario: &Scenario,
+    schedule: Vec<gam_kernel::ChoiceStep>,
+    violation: SpecViolation,
+    seed: u64,
+) -> Counterexample {
+    let (scenario, schedule, shrink_runs) =
+        shrink(scenario.clone(), schedule, violation.property, 800);
+    Counterexample {
+        repro: Repro {
+            scenario,
+            schedule,
+            seed,
+            property: Some(violation.property.to_string()),
+        },
+        violation,
+        shrink_runs,
+    }
+}
+
+/// Enumerates **every** schedule of the scenario whose first `depth`
+/// scheduling choices differ, completing each prefix with the fair
+/// round-robin tail to a checkable terminal state, and checking each
+/// against `spec::check_all`.
+///
+/// The choice tree is walked odometer-style: each run records the
+/// branching factor actually met at every depth, which is exactly the
+/// information needed to advance to the next unexplored prefix. Stops at
+/// the first violation (shrunk into a [`Counterexample`]) or after
+/// `max_runs` runs; `complete` reports whether the tree was exhausted.
+pub fn explore_exhaustive(scenario: &Scenario, depth: usize, max_runs: u64) -> ExploreStats {
+    let mut path = vec![0usize; depth];
+    let mut runs = 0u64;
+    loop {
+        if runs >= max_runs {
+            return ExploreStats {
+                runs,
+                violations: Vec::new(),
+                complete: false,
+            };
+        }
+        let mut path_source = PathSource::new(path.clone());
+        let mut source = RecordingSource::new(PrefixTail::new(&mut path_source));
+        let report = scenario.run(&mut source);
+        let schedule = source.into_log();
+        runs += 1;
+        if let Err(violation) = check_all(&report, scenario.variant) {
+            return ExploreStats {
+                runs,
+                violations: vec![found(scenario, schedule, violation, 0)],
+                complete: false,
+            };
+        }
+        // Advance the odometer: bump the deepest consumed digit that still
+        // has unexplored siblings, reset everything after it.
+        let branching = path_source.branching();
+        let used = branching.len().min(depth);
+        let Some(bump) = (0..used).rev().find(|&i| path[i] + 1 < branching[i]) else {
+            return ExploreStats {
+                runs,
+                violations: Vec::new(),
+                complete: true,
+            };
+        };
+        path[bump] += 1;
+        for digit in path.iter_mut().skip(bump + 1) {
+            *digit = 0;
+        }
+    }
+}
+
+/// Runs the scenario once per seed under the uniformly random scheduler,
+/// recording each schedule, and checks every terminal state. Stops at the
+/// first violation, shrunk into a [`Counterexample`].
+pub fn explore_swarm(scenario: &Scenario, seeds: Range<u64>) -> ExploreStats {
+    let mut runs = 0u64;
+    for seed in seeds {
+        let mut source = RecordingSource::new(RandomSource::new(seed));
+        let report = scenario.run(&mut source);
+        runs += 1;
+        if let Err(violation) = check_all(&report, scenario.variant) {
+            return ExploreStats {
+                runs,
+                violations: vec![found(scenario, source.into_log(), violation, seed)],
+                complete: false,
+            };
+        }
+    }
+    ExploreStats {
+        runs,
+        violations: Vec::new(),
+        complete: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gam_groups::topology;
+
+    #[test]
+    fn exhaustive_single_group_is_clean_and_complete() {
+        let scenario = Scenario::one_per_group(&topology::single_group(2), 20_000);
+        let stats = explore_exhaustive(&scenario, 3, 5_000);
+        assert!(stats.clean(), "violations: {:?}", stats.violations);
+        assert!(stats.runs > 1, "more than one prefix explored");
+    }
+
+    #[test]
+    fn exhaustive_respects_run_cap() {
+        let scenario = Scenario::one_per_group(&topology::two_overlapping(3, 1), 50_000);
+        let stats = explore_exhaustive(&scenario, 4, 7);
+        assert_eq!(stats.runs, 7);
+        assert!(!stats.complete);
+        assert!(stats.violations.is_empty());
+    }
+
+    #[test]
+    fn swarm_on_ring_is_clean() {
+        let scenario = Scenario::one_per_group(&topology::ring(3, 2), 100_000);
+        let stats = explore_swarm(&scenario, 0..5);
+        assert!(stats.clean(), "violations: {:?}", stats.violations);
+        assert_eq!(stats.runs, 5);
+    }
+}

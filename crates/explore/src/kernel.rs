@@ -1,0 +1,170 @@
+//! Driving the Level-B (message-passing) deployment through schedule
+//! sources.
+//!
+//! The runtime-level explorer checks Algorithm 1 over linearizable shared
+//! objects; this module aims the same [`ScheduleSource`] machinery at the
+//! other end of the stack: `gam_core::distributed::DistProcess` automata
+//! under the kernel [`Simulator`], where every scheduling choice is *which
+//! pending network message a process receives next*. Runs are recorded,
+//! replayable and hashed, and terminal states are checked for delivery and
+//! pairwise agreement.
+//!
+//! [`ScheduleSource`]: gam_kernel::schedule::ScheduleSource
+
+use crate::hash::fnv1a;
+use crate::PrefixTail;
+use gam_core::distributed::{DistProcess, MuHistory};
+use gam_core::MessageId;
+use gam_detectors::{MuConfig, MuOracle};
+use gam_groups::GroupSystem;
+use gam_kernel::schedule::{
+    ChoiceStep, RandomSource, RecordingSource, ReplaySource, ScheduleSource,
+};
+use gam_kernel::{FailurePattern, RunOutcome, Simulator};
+
+/// The outcome of one kernel-level run.
+#[derive(Debug, Clone)]
+pub struct KernelRun {
+    /// How the run loop stopped.
+    pub outcome: RunOutcome,
+    /// The recorded schedule (replay with [`replay_run`]).
+    pub schedule: Vec<ChoiceStep>,
+    /// Digest of the full run: schedule steps + per-process deliveries.
+    pub hash: u64,
+    /// The first delivery/agreement violation found, if any.
+    pub violation: Option<String>,
+}
+
+fn build(system: &GroupSystem) -> Simulator<DistProcess, MuHistory> {
+    let pattern = FailurePattern::all_correct(system.universe());
+    let autos = system
+        .universe()
+        .iter()
+        .map(|p| DistProcess::new(p, system))
+        .collect();
+    let mu = MuOracle::new(system, pattern.clone(), MuConfig::default());
+    let mut sim = Simulator::new(autos, pattern, MuHistory::new(mu)).with_schedule_recording();
+    for (i, (g, members)) in system.iter().enumerate() {
+        let src = members.min().expect("non-empty group");
+        sim.automaton_mut(src).multicast(MessageId(i as u64), g);
+    }
+    sim
+}
+
+fn digest(sim: &Simulator<DistProcess, MuHistory>, outcome: RunOutcome) -> u64 {
+    let mut words = vec![u64::from(outcome == RunOutcome::Quiescent)];
+    for step in sim.trace().steps() {
+        words.push(step.time.0);
+        words.push(u64::from(step.pid.0));
+        words.push(step.received.map_or(0, |m| m.0 + 1));
+    }
+    for p in sim.universe() {
+        words.push(u64::from(p.0));
+        for m in sim.automaton(p).delivered() {
+            words.push(m.0 + 1);
+        }
+    }
+    fnv1a(words)
+}
+
+fn check(
+    sim: &Simulator<DistProcess, MuHistory>,
+    system: &GroupSystem,
+    outcome: RunOutcome,
+) -> Option<String> {
+    // Agreement on shared deliveries, quiescent or not.
+    for p in system.universe() {
+        for q in system.universe() {
+            let (dp, dq) = (sim.automaton(p).delivered(), sim.automaton(q).delivered());
+            for (i, m1) in dp.iter().enumerate() {
+                for m2 in &dp[i + 1..] {
+                    if let (Some(j1), Some(j2)) = (
+                        dq.iter().position(|x| x == m1),
+                        dq.iter().position(|x| x == m2),
+                    ) {
+                        if j1 >= j2 {
+                            return Some(format!("{p} and {q} disagree on {m1}/{m2}"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // On quiescence, every group member must hold its group's message.
+    if outcome == RunOutcome::Quiescent {
+        for (i, (_, members)) in system.iter().enumerate() {
+            let m = MessageId(i as u64);
+            for p in members {
+                if !sim.automaton(p).delivered().contains(&m) {
+                    return Some(format!("quiescent but {p} missing {m}"));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn run_with<S: ScheduleSource>(
+    system: &GroupSystem,
+    mut source: RecordingSource<S>,
+    max_steps: u64,
+) -> KernelRun {
+    let mut sim = build(system);
+    let outcome = sim.run_with_source(system.universe(), &mut source, max_steps);
+    KernelRun {
+        outcome,
+        schedule: source.into_log(),
+        hash: digest(&sim, outcome),
+        violation: check(&sim, system, outcome),
+    }
+}
+
+/// One failure-free swarm run: one message per group, every receive choice
+/// uniformly random under `seed`.
+pub fn swarm_run(system: &GroupSystem, seed: u64, max_steps: u64) -> KernelRun {
+    run_with(
+        system,
+        RecordingSource::new(RandomSource::new(seed)),
+        max_steps,
+    )
+}
+
+/// Replays a recorded kernel schedule (completing with the fair round-robin
+/// tail if the schedule ends early). A faithful replay reproduces the
+/// original [`KernelRun::hash`] exactly.
+pub fn replay_run(system: &GroupSystem, schedule: &[ChoiceStep], max_steps: u64) -> KernelRun {
+    run_with(
+        system,
+        RecordingSource::new(PrefixTail::new(ReplaySource::new(schedule.to_vec()))),
+        max_steps,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gam_groups::topology;
+
+    #[test]
+    fn swarm_is_seed_deterministic() {
+        let gs = topology::ring(3, 2);
+        let a = swarm_run(&gs, 3, 2_000_000);
+        let b = swarm_run(&gs, 3, 2_000_000);
+        assert_eq!(a.hash, b.hash);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.violation, None, "{:?}", a.violation);
+        let c = swarm_run(&gs, 4, 2_000_000);
+        assert_ne!(a.hash, c.hash, "different seed, different run");
+    }
+
+    #[test]
+    fn replay_reproduces_the_swarm_run() {
+        let gs = topology::two_overlapping(3, 1);
+        let original = swarm_run(&gs, 11, 2_000_000);
+        assert_eq!(original.outcome, RunOutcome::Quiescent);
+        let replayed = replay_run(&gs, &original.schedule, 2_000_000);
+        assert_eq!(replayed.hash, original.hash, "byte-identical replay");
+        assert_eq!(replayed.outcome, original.outcome);
+        assert_eq!(replayed.violation, None);
+    }
+}

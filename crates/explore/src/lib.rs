@@ -1,0 +1,151 @@
+//! # gam-explore — schedule-space exploration with shrinking repros
+//!
+//! The paper's correctness claims are universally quantified over schedules;
+//! the fixed-seed integration tests only sample a handful of them. This
+//! crate turns the quantifier into tooling:
+//!
+//! - [`explore_exhaustive`] enumerates **every** schedule of a bounded
+//!   choice depth (completing each prefix with a deterministic fair tail to
+//!   quiescence, so every terminal state is checkable) and verifies each
+//!   terminal state against [`gam_core::spec::check_all`];
+//! - [`explore_swarm`] drives a seeded random swarm over the full run,
+//!   recording each schedule as it goes;
+//! - on a violation, [`shrink`] delta-debugs the failing run — dropping
+//!   crashes and submissions, truncating the schedule, collapsing choices
+//!   toward the round-robin default — down to a minimal counterexample;
+//! - the result is a [`Repro`]: a self-contained, text-serializable bundle
+//!   (topology + failure pattern + schedule + seed) that replays
+//!   byte-identically and can be checked into `tests/fixtures/`.
+//!
+//! The same [`ScheduleSource`] machinery also drives the message-passing
+//! Level-B deployment (`gam_core::distributed`) through the kernel
+//! simulator — see [`kernel`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod explorer;
+mod hash;
+pub mod kernel;
+mod repro;
+mod shrink;
+
+pub use explorer::{explore_exhaustive, explore_swarm, Counterexample, ExploreStats};
+pub use hash::{fnv1a, trace_hash};
+pub use repro::Repro;
+pub use shrink::shrink;
+
+use gam_core::spec::{check_all, SpecViolation};
+use gam_core::{MessageId, RunReport, Runtime, RuntimeConfig, Variant};
+use gam_groups::{GroupId, GroupSystem};
+use gam_kernel::schedule::{RotatingSource, ScheduleSource};
+use gam_kernel::{FailurePattern, ProcessId, RunOutcome, Time};
+
+/// A closed, runnable test case: everything about a run except its
+/// schedule.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The group topology.
+    pub system: GroupSystem,
+    /// Crash injections `(process, time)` of the failure pattern.
+    pub crashes: Vec<(ProcessId, Time)>,
+    /// Up-front submissions `(src, group, payload)`, in order.
+    pub submissions: Vec<(ProcessId, GroupId, u64)>,
+    /// The problem variation to check against.
+    pub variant: Variant,
+    /// Step budget of a single run (schedule prefix + fair tail).
+    pub max_steps: u64,
+}
+
+impl Scenario {
+    /// A failure-free scenario over `system` with one message per group
+    /// (from its least member) and the given budget.
+    pub fn one_per_group(system: &GroupSystem, max_steps: u64) -> Self {
+        let submissions = system
+            .iter()
+            .map(|(g, members)| (members.min().expect("non-empty group"), g, g.0 as u64))
+            .collect();
+        Scenario {
+            system: system.clone(),
+            crashes: Vec::new(),
+            submissions,
+            variant: Variant::Standard,
+            max_steps,
+        }
+    }
+
+    /// The failure pattern of the scenario.
+    pub fn pattern(&self) -> FailurePattern {
+        FailurePattern::from_crashes(self.system.universe(), self.crashes.iter().copied())
+    }
+
+    /// Runs the scenario once, with every scheduling decision taken by
+    /// `source`. The report is quiescent iff the run quiesced within
+    /// [`Scenario::max_steps`].
+    pub fn run<S: ScheduleSource>(&self, source: &mut S) -> RunReport {
+        let mut rt = Runtime::new(
+            &self.system,
+            self.pattern(),
+            RuntimeConfig {
+                variant: self.variant,
+                ..Default::default()
+            },
+        );
+        for (src, g, payload) in &self.submissions {
+            rt.multicast(*src, *g, *payload);
+        }
+        let out = rt.run_with_source(self.system.universe(), source, self.max_steps);
+        rt.report(out == RunOutcome::Quiescent)
+    }
+
+    /// Runs the scenario and checks it, returning the first violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SpecViolation`] found by `spec::check_all`.
+    pub fn run_checked<S: ScheduleSource>(
+        &self,
+        source: &mut S,
+    ) -> Result<RunReport, SpecViolation> {
+        let report = self.run(source);
+        check_all(&report, self.variant)?;
+        Ok(report)
+    }
+
+    /// The submitted messages, by id (submission order).
+    pub fn message_ids(&self) -> Vec<MessageId> {
+        (0..self.submissions.len() as u64).map(MessageId).collect()
+    }
+}
+
+/// A source that plays a prefix and then falls back to the fair
+/// deterministic round-robin tail forever — the run-completion policy of
+/// the explorer: any enumerated or replayed prefix is extended to a *fair*
+/// run, so quiescence (and hence `check_all`) is meaningful.
+#[derive(Debug)]
+pub struct PrefixTail<S> {
+    prefix: Option<S>,
+    tail: RotatingSource,
+}
+
+impl<S: ScheduleSource> PrefixTail<S> {
+    /// Plays `prefix` until it stops, then the round-robin tail.
+    pub fn new(prefix: S) -> Self {
+        PrefixTail {
+            prefix: Some(prefix),
+            tail: RotatingSource::default(),
+        }
+    }
+}
+
+impl<S: ScheduleSource> ScheduleSource for PrefixTail<S> {
+    fn next_choice(&mut self, options: &[(ProcessId, usize)]) -> Option<(usize, usize)> {
+        if let Some(prefix) = &mut self.prefix {
+            if let Some(pick) = prefix.next_choice(options) {
+                return Some(pick);
+            }
+            self.prefix = None;
+        }
+        self.tail.next_choice(options)
+    }
+}

@@ -217,9 +217,7 @@ impl GroupSystem {
         loop {
             let pruned: GroupSet = core
                 .iter()
-                .filter(|g| {
-                    core.iter().filter(|h| self.intersecting(*g, *h)).count() >= 2
-                })
+                .filter(|g| core.iter().filter(|h| self.intersecting(*g, *h)).count() >= 2)
                 .collect();
             if pruned == core {
                 break;
@@ -296,10 +294,7 @@ impl GroupSystem {
     /// Returns `true` if `p` lies in some intersection `g ∩ h` of distinct
     /// groups `g, h ∈ f`.
     pub fn in_some_intersection(&self, f: GroupSet, p: ProcessId) -> bool {
-        let holding: Vec<GroupId> = f
-            .iter()
-            .filter(|g| self.members(*g).contains(p))
-            .collect();
+        let holding: Vec<GroupId> = f.iter().filter(|g| self.members(*g).contains(p)).collect();
         holding.len() >= 2
     }
 
@@ -393,10 +388,13 @@ mod tests {
         let f = gset(&[0, 1, 2]); // 𝔣 = {g1, g2, g3}
         let fpp = gset(&[0, 1, 2, 3]); // 𝔣'' = 𝒢
         let fprime = gset(&[0, 2, 3]); // 𝔣' = {g1, g3, g4}
-        // p2 crashes: g1 ∩ g2 = {p2} becomes faulty.
+                                       // p2 crashes: g1 ∩ g2 = {p2} becomes faulty.
         let crashed = ProcessSet::from_iter([1u32]);
         assert!(gs.family_faulty(f, crashed), "𝔣 is faulty when p2 fails");
-        assert!(gs.family_faulty(fpp, crashed), "𝔣'' is faulty when p2 fails");
+        assert!(
+            gs.family_faulty(fpp, crashed),
+            "𝔣'' is faulty when p2 fails"
+        );
         assert!(
             !gs.family_faulty(fprime, crashed),
             "𝔣' survives the crash of p2"
@@ -457,7 +455,7 @@ mod tests {
         assert!(p.equivalent(&r));
         assert_eq!(p.direction(), -r.direction());
         assert_eq!(p.get(0), r.get(0)); // reversal keeps the start
-        // rotations keep direction
+                                        // rotations keep direction
         assert_eq!(p.rotated(1).direction(), p.direction());
         assert_eq!(p.rotated(2).direction(), p.direction());
     }

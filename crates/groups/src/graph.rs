@@ -109,12 +109,8 @@ impl GroupSystem {
             writeln!(out, "  {g} [label=\"{g} = {members}\"];").expect("write to string");
         }
         for (g, h) in self.intersecting_pairs() {
-            writeln!(
-                out,
-                "  {g} -- {h} [label=\"{}\"];",
-                self.intersection(g, h)
-            )
-            .expect("write to string");
+            writeln!(out, "  {g} -- {h} [label=\"{}\"];", self.intersection(g, h))
+                .expect("write to string");
         }
         out.push_str("}\n");
         out
@@ -188,7 +184,10 @@ mod tests {
         }
         assert!(dot.contains("g1 -- g2"));
         assert!(dot.contains("g2 -- g3"));
-        assert!(!dot.contains("g1 -- g3"), "non-intersecting pairs have no edge");
+        assert!(
+            !dot.contains("g1 -- g3"),
+            "non-intersecting pairs have no edge"
+        );
         assert!(dot.ends_with("}\n"));
     }
 

@@ -260,11 +260,7 @@ impl GroupSystem {
                 "group g{} is not within the universe",
                 i + 1
             );
-            assert!(
-                !groups[..i].contains(g),
-                "group g{} is listed twice",
-                i + 1
-            );
+            assert!(!groups[..i].contains(g), "group g{} is listed twice", i + 1);
         }
         GroupSystem { universe, groups }
     }

@@ -222,7 +222,7 @@ mod tests {
     fn hub_is_complete_graph() {
         let gs = hub(4, 3);
         assert_eq!(gs.intersecting_pairs().len(), 6); // K4
-        // every subset of ≥3 groups is cyclic: C(4,3) + C(4,4) = 5
+                                                      // every subset of ≥3 groups is cyclic: C(4,3) + C(4,4) = 5
         assert_eq!(gs.cyclic_families().len(), 5);
     }
 

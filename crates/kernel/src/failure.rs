@@ -242,8 +242,7 @@ impl Environment {
     /// Returns `true` if all of `set` may crash in a single pattern of the
     /// environment ("`set` is failure-prone", §5.2).
     pub fn set_failure_prone(&self, set: ProcessSet) -> bool {
-        set.is_subset(self.failure_prone)
-            && self.max_failures.is_none_or(|k| set.len() <= k)
+        set.is_subset(self.failure_prone) && self.max_failures.is_none_or(|k| set.len() <= k)
     }
 
     /// Environment membership: `F ∈ 𝔈`.

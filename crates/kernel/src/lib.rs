@@ -46,6 +46,7 @@ mod automaton;
 mod failure;
 mod message;
 mod process;
+pub mod schedule;
 mod sim;
 mod time;
 mod trace;
@@ -54,6 +55,10 @@ pub use automaton::{Automaton, History, NoDetector, StepCtx};
 pub use failure::{Environment, FailurePattern};
 pub use message::{Envelope, MessageBuffer, MsgId};
 pub use process::{Iter as ProcessSetIter, ProcessId, ProcessSet, MAX_PROCESSES};
+pub use schedule::{
+    ChoiceStep, PathSource, RandomSource, RecordingSource, ReplaySource, RotatingSource,
+    ScheduleSource,
+};
 pub use sim::{Receive, RunOutcome, Scheduler, Simulator};
 pub use time::Time;
 pub use trace::{StepRecord, Trace, TraceEvent};

@@ -147,7 +147,12 @@ mod tests {
     fn fifo_order_per_recipient() {
         let mut buf: MessageBuffer<u32> = MessageBuffer::new(2);
         for i in 0..5 {
-            buf.send(ProcessId(0), ProcessSet::singleton(ProcessId(1)), Time(i), i as u32);
+            buf.send(
+                ProcessId(0),
+                ProcessSet::singleton(ProcessId(1)),
+                Time(i),
+                i as u32,
+            );
         }
         let mut got = Vec::new();
         while let Some(e) = buf.receive_oldest(ProcessId(1)) {
@@ -160,7 +165,12 @@ mod tests {
     fn receive_nth_removes_specific_message() {
         let mut buf: MessageBuffer<u32> = MessageBuffer::new(1);
         for i in 0..3 {
-            buf.send(ProcessId(0), ProcessSet::singleton(ProcessId(0)), Time(0), i);
+            buf.send(
+                ProcessId(0),
+                ProcessSet::singleton(ProcessId(0)),
+                Time(0),
+                i,
+            );
         }
         let e = buf.receive_nth(ProcessId(0), 1).unwrap();
         assert_eq!(e.payload, 1);

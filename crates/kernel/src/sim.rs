@@ -16,6 +16,7 @@ use crate::automaton::{Automaton, History, StepCtx};
 use crate::failure::FailurePattern;
 use crate::message::{Envelope, MessageBuffer, MsgId};
 use crate::process::{ProcessId, ProcessSet};
+use crate::schedule::ScheduleSource;
 use crate::time::Time;
 use crate::trace::Trace;
 use rand::rngs::StdRng;
@@ -57,6 +58,9 @@ pub enum RunOutcome {
     Quiescent,
     /// The step budget was exhausted before quiescence.
     BudgetExhausted,
+    /// The [`ScheduleSource`] declined to pick a step (its schedule or path
+    /// was exhausted) while the system was still live.
+    Stopped,
 }
 
 /// The simulator: automata + buffer + failure pattern + detector history.
@@ -223,7 +227,12 @@ impl<A: Automaton, H: History<Value = A::Fd>> Simulator<A, H> {
 
     /// Runs under `scheduler`, scheduling **only** the processes of `set`
     /// (the others take no step — the adversarial schedules of §5).
-    pub fn run_only(&mut self, set: ProcessSet, scheduler: Scheduler, max_steps: u64) -> RunOutcome {
+    pub fn run_only(
+        &mut self,
+        set: ProcessSet,
+        scheduler: Scheduler,
+        max_steps: u64,
+    ) -> RunOutcome {
         let mut taken = 0u64;
         loop {
             if taken >= max_steps {
@@ -311,6 +320,65 @@ impl<A: Automaton, H: History<Value = A::Fd>> Simulator<A, H> {
         }
     }
 
+    /// The current choice space over `set`: each eligible process paired
+    /// with its option arity, in ascending process order. Process `p` with
+    /// `k` pending messages offers choices `0..k` (receive the `c`-th
+    /// oldest) plus, when it is active, choice `k` (the null message).
+    pub fn options_in(&self, set: ProcessSet) -> Vec<(ProcessId, usize)> {
+        set.iter()
+            .filter(|p| self.eligible(*p))
+            .map(|p| {
+                let pending = self.buffer.pending(p);
+                let null = usize::from(self.automata[p.index()].is_active());
+                (p, pending + null)
+            })
+            .collect()
+    }
+
+    /// The current choice space over the full universe
+    /// (see [`Simulator::options_in`]).
+    pub fn options(&self) -> Vec<(ProcessId, usize)> {
+        self.options_in(self.universe())
+    }
+
+    /// Executes one step of `p` taking sub-choice `choice` of its current
+    /// option space: `choice < pending` receives the `choice`-th oldest
+    /// pending message, `choice >= pending` takes a null step.
+    pub fn step_choice(&mut self, p: ProcessId, choice: usize) -> Option<MsgId> {
+        let receive = if choice < self.buffer.pending(p) {
+            Receive::Nth(choice)
+        } else {
+            Receive::Null
+        };
+        self.step_process(p, receive)
+    }
+
+    /// Runs with every scheduling decision delegated to `source`,
+    /// scheduling only processes of `set`, until quiescence, budget
+    /// exhaustion, or the source stopping.
+    pub fn run_with_source<S: ScheduleSource>(
+        &mut self,
+        set: ProcessSet,
+        source: &mut S,
+        max_steps: u64,
+    ) -> RunOutcome {
+        let mut taken = 0u64;
+        loop {
+            if taken >= max_steps {
+                return RunOutcome::BudgetExhausted;
+            }
+            let options = self.options_in(set);
+            if options.is_empty() {
+                return RunOutcome::Quiescent;
+            }
+            let Some((idx, choice)) = source.next_choice(&options) else {
+                return RunOutcome::Stopped;
+            };
+            self.step_choice(options[idx].0, choice);
+            taken += 1;
+        }
+    }
+
     /// Consumes the simulator, returning the trace.
     pub fn into_trace(self) -> Trace<A::Event> {
         self.trace
@@ -336,7 +404,12 @@ mod tests {
         type Fd = ();
         type Event = &'static str;
 
-        fn step(&mut self, ctx: &mut StepCtx<u8, &'static str>, input: Option<Envelope<u8>>, _fd: &()) {
+        fn step(
+            &mut self,
+            ctx: &mut StepCtx<u8, &'static str>,
+            input: Option<Envelope<u8>>,
+            _fd: &(),
+        ) {
             if self.start {
                 self.start = false;
                 self.seen = true;
@@ -459,10 +532,8 @@ mod tests {
         assert_eq!(sim.trace().steps().len(), 3);
         assert_eq!(sim.trace().events().len(), 3);
         // crashed processes skip scheduled steps
-        let pattern = FailurePattern::from_crashes(
-            ProcessSet::first_n(n),
-            [(ProcessId(1), Time(0))],
-        );
+        let pattern =
+            FailurePattern::from_crashes(ProcessSet::first_n(n), [(ProcessId(1), Time(0))]);
         let mut sim = Simulator::new(flood_system(n, 0), pattern, NoDetector);
         sim.run_schedule(&[(ProcessId(1), Receive::Null)]);
         assert_eq!(sim.trace().steps_of(ProcessId(1)), 0);

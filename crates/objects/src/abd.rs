@@ -359,10 +359,7 @@ mod tests {
     use gam_detectors::{SigmaMode, SigmaOracle};
     use gam_kernel::{FailurePattern, ProcessSet, RunOutcome, Scheduler, Simulator, Time};
 
-    fn system(
-        n: usize,
-        pattern: FailurePattern,
-    ) -> Simulator<AbdProcess<u64>, SigmaOracle> {
+    fn system(n: usize, pattern: FailurePattern) -> Simulator<AbdProcess<u64>, SigmaOracle> {
         let scope = ProcessSet::first_n(n);
         let autos = (0..n)
             .map(|i| AbdProcess::new(ProcessId(i as u32), scope))
@@ -402,10 +399,11 @@ mod tests {
         let mut sim = system(n, pattern);
         sim.automaton_mut(ProcessId(2)).read(R);
         sim.run(Scheduler::RoundRobin, 100_000);
-        assert!(sim
-            .trace()
-            .events_of(ProcessId(2))
-            .any(|e| e.event == AbdEvent::ReadDone { reg: R, value: None }));
+        assert!(sim.trace().events_of(ProcessId(2)).any(|e| e.event
+            == AbdEvent::ReadDone {
+                reg: R,
+                value: None
+            }));
     }
 
     #[test]

@@ -243,8 +243,7 @@ impl FastLogProcess {
         input: Option<Envelope<PaxosMsg<u64>>>,
         fd: &FastLogFd,
     ) {
-        let mut sub: StepCtx<PaxosMsg<u64>, Decided<u64>> =
-            StepCtx::detached(self.me, ctx.now());
+        let mut sub: StepCtx<PaxosMsg<u64>, Decided<u64>> = StepCtx::detached(self.me, ctx.now());
         self.paxos.step(
             &mut sub,
             input,
@@ -283,19 +282,25 @@ impl Automaton for FastLogProcess {
                     let seen = self.p1_seen.entry(slot).or_default();
                     seen.insert(value);
                     let snapshot: Vec<u64> = seen.iter().copied().collect();
-                    ctx.send_to(src, FastLogMsg::AcP1Ack {
-                        slot,
-                        seen: snapshot,
-                    });
+                    ctx.send_to(
+                        src,
+                        FastLogMsg::AcP1Ack {
+                            slot,
+                            seen: snapshot,
+                        },
+                    );
                 }
                 FastLogMsg::AcP2 { slot, value, clean } => {
                     let seen = self.p2_seen.entry(slot).or_default();
                     seen.insert((value, clean));
                     let snapshot: Vec<(u64, bool)> = seen.iter().copied().collect();
-                    ctx.send_to(src, FastLogMsg::AcP2Ack {
-                        slot,
-                        seen: snapshot,
-                    });
+                    ctx.send_to(
+                        src,
+                        FastLogMsg::AcP2Ack {
+                            slot,
+                            seen: snapshot,
+                        },
+                    );
                 }
                 FastLogMsg::AcP1Ack { slot, seen } => {
                     if let Some((s, AcState::P1 { acks, union, .. })) = &mut self.attempt {
@@ -340,32 +345,40 @@ impl Automaton for FastLogProcess {
                     } else {
                         *union.iter().min().expect("phase 1 saw at least our value")
                     };
-                    self.attempt = Some((slot, AcState::P2 {
-                        value: est,
-                        clean,
-                        acks: ProcessSet::EMPTY,
-                        union: BTreeSet::new(),
-                    }));
-                    ctx.send(self.inter, FastLogMsg::AcP2 {
+                    self.attempt = Some((
                         slot,
-                        value: est,
-                        clean,
-                    });
+                        AcState::P2 {
+                            value: est,
+                            clean,
+                            acks: ProcessSet::EMPTY,
+                            union: BTreeSet::new(),
+                        },
+                    ));
+                    ctx.send(
+                        self.inter,
+                        FastLogMsg::AcP2 {
+                            slot,
+                            value: est,
+                            clean,
+                        },
+                    );
                 } else {
                     self.attempt = Some((slot, AcState::P1 { value, acks, union }));
                 }
             }
-            Some((slot, AcState::P2 {
-                value,
-                clean,
-                acks,
-                union,
-            })) => {
+            Some((
+                slot,
+                AcState::P2 {
+                    value,
+                    clean,
+                    acks,
+                    union,
+                },
+            )) => {
                 if self.decided.contains_key(&slot) {
                     // decided underneath us
                 } else if fd.inter_quorum.as_ref().is_some_and(|q| q.is_subset(acks)) {
-                    let all_clean_same =
-                        union.iter().all(|(v, c)| *c && *v == value) && clean;
+                    let all_clean_same = union.iter().all(|(v, c)| *c && *v == value) && clean;
                     if all_clean_same {
                         // fast-path commit
                         self.decide(slot, value, ctx, true);
@@ -380,12 +393,15 @@ impl Automaton for FastLogProcess {
                         self.paxos.propose(slot, carried);
                     }
                 } else {
-                    self.attempt = Some((slot, AcState::P2 {
-                        value,
-                        clean,
-                        acks,
-                        union,
-                    }));
+                    self.attempt = Some((
+                        slot,
+                        AcState::P2 {
+                            value,
+                            clean,
+                            acks,
+                            union,
+                        },
+                    ));
                 }
             }
             None => {}
@@ -415,11 +431,14 @@ impl Automaton for FastLogProcess {
                     self.queue.pop_front();
                 } else {
                     let slot = self.next_free_slot();
-                    self.attempt = Some((slot, AcState::P1 {
-                        value: cmd,
-                        acks: ProcessSet::EMPTY,
-                        union: BTreeSet::new(),
-                    }));
+                    self.attempt = Some((
+                        slot,
+                        AcState::P1 {
+                            value: cmd,
+                            acks: ProcessSet::EMPTY,
+                            union: BTreeSet::new(),
+                        },
+                    ));
                     ctx.send(self.inter, FastLogMsg::AcP1 { slot, value: cmd });
                 }
             }
@@ -495,7 +514,10 @@ mod tests {
             let l0 = sim.automaton(ProcessId(0)).log();
             let l1 = sim.automaton(ProcessId(1)).log();
             assert_eq!(l0, l1, "seed {seed}: replica logs agree");
-            assert!(l0.contains(&111) && l0.contains(&222), "seed {seed}: {l0:?}");
+            assert!(
+                l0.contains(&111) && l0.contains(&222),
+                "seed {seed}: {l0:?}"
+            );
         }
     }
 

@@ -223,7 +223,7 @@ mod tests {
         let mut log = Log::new();
         log.append("a"); // slot 1
         log.append("b"); // slot 2
-        // bump below current position: stays
+                         // bump below current position: stays
         assert_eq!(log.bump_and_lock(&"b", Pos(1)), Pos(2));
         // bump above: moves
         assert_eq!(log.bump_and_lock(&"a", Pos(9)), Pos(9));

@@ -199,7 +199,9 @@ impl<V: Clone + std::fmt::Debug + PartialEq> PaxosProcess<V> {
 
     /// The local decision of `instance`, if known.
     pub fn decision(&self, instance: u64) -> Option<&V> {
-        self.instances.get(&instance).and_then(|i| i.decided.as_ref())
+        self.instances
+            .get(&instance)
+            .and_then(|i| i.decided.as_ref())
     }
 
     /// My next ballot strictly above `above`: the smallest ballot `b ≡ me
@@ -230,7 +232,10 @@ impl<V: Clone + std::fmt::Debug + PartialEq> PaxosProcess<V> {
                 value: value.clone(),
             });
             if broadcast {
-                ctx.send(scope - ProcessSet::singleton(me), PaxosMsg::Decide { instance, value });
+                ctx.send(
+                    scope - ProcessSet::singleton(me),
+                    PaxosMsg::Decide { instance, value },
+                );
             }
         }
     }
@@ -377,10 +382,13 @@ impl<V: Clone + std::fmt::Debug + PartialEq> Automaton for PaxosProcess<V> {
                     if inst.forwarded_to != Some(l) {
                         inst.forwarded_to = Some(l);
                         let value = inst.proposal.clone().expect("proposal present");
-                        ctx.send_to(l, PaxosMsg::Forward {
-                            instance: id,
-                            value,
-                        });
+                        ctx.send_to(
+                            l,
+                            PaxosMsg::Forward {
+                                instance: id,
+                                value,
+                            },
+                        );
                     }
                 }
             }
@@ -394,10 +402,13 @@ impl<V: Clone + std::fmt::Debug + PartialEq> Automaton for PaxosProcess<V> {
                             promises: ProcessSet::EMPTY,
                             best: None,
                         });
-                        ctx.send(scope, PaxosMsg::Prepare {
-                            instance: id,
-                            ballot,
-                        });
+                        ctx.send(
+                            scope,
+                            PaxosMsg::Prepare {
+                                instance: id,
+                                ballot,
+                            },
+                        );
                     }
                 }
                 Some(Attempt::Prepare {
@@ -415,11 +426,14 @@ impl<V: Clone + std::fmt::Debug + PartialEq> Automaton for PaxosProcess<V> {
                             acks: ProcessSet::EMPTY,
                             value: value.clone(),
                         });
-                        ctx.send(scope, PaxosMsg::Accept {
-                            instance: id,
-                            ballot,
-                            value,
-                        });
+                        ctx.send(
+                            scope,
+                            PaxosMsg::Accept {
+                                instance: id,
+                                ballot,
+                                value,
+                            },
+                        );
                     } else {
                         inst.attempt = Some(Attempt::Prepare {
                             ballot,
@@ -551,7 +565,8 @@ mod tests {
             },
         );
         for i in 0..n {
-            sim.automaton_mut(ProcessId(i as u32)).propose(0, 100 + i as u64);
+            sim.automaton_mut(ProcessId(i as u32))
+                .propose(0, 100 + i as u64);
         }
         sim.run(Scheduler::Random { null_prob: 0.2 }, 1_000_000);
         let d = decisions(&sim, 0);
@@ -592,14 +607,18 @@ mod tests {
         let scope = ProcessSet::first_n(3);
         let p0: PaxosProcess<u64> = PaxosProcess::new(ProcessId(0), scope);
         let p1: PaxosProcess<u64> = PaxosProcess::new(ProcessId(1), scope);
-        let b0: Vec<u64> = (0..5).scan(0, |a, _| {
-            *a = p0.next_ballot(*a);
-            Some(*a)
-        }).collect();
-        let b1: Vec<u64> = (0..5).scan(0, |a, _| {
-            *a = p1.next_ballot(*a);
-            Some(*a)
-        }).collect();
+        let b0: Vec<u64> = (0..5)
+            .scan(0, |a, _| {
+                *a = p0.next_ballot(*a);
+                Some(*a)
+            })
+            .collect();
+        let b1: Vec<u64> = (0..5)
+            .scan(0, |a, _| {
+                *a = p1.next_ballot(*a);
+                Some(*a)
+            })
+            .collect();
         assert!(b0.iter().all(|b| !b1.contains(b)));
         assert_eq!(b0, vec![1, 4, 7, 10, 13]);
     }

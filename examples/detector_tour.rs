@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --example detector_tour`
 
-use genuine_multicast::prelude::*;
 use gam_detectors::{IndicatorMode, OmegaMode, SigmaMode};
+use genuine_multicast::prelude::*;
 
 fn main() {
     let gs = topology::fig1();
@@ -57,14 +57,25 @@ fn main() {
     let inter = gs.intersection(GroupId(0), GroupId(1));
     let scope = gs.members(GroupId(0)) | gs.members(GroupId(1));
     let ind = IndicatorOracle::new(inter, scope, pattern.clone(), 0, IndicatorMode::Truthful);
-    println!("\n1^(g1∩g2) at p0: t4 → {:?}, t5 → {:?}",
+    println!(
+        "\n1^(g1∩g2) at p0: t4 → {:?}, t5 → {:?}",
         ind.indicates(ProcessId(0), Time(4)).unwrap(),
-        ind.indicates(ProcessId(0), Time(5)).unwrap());
+        ind.indicates(ProcessId(0), Time(5)).unwrap()
+    );
 
     // μ bundles them all; Algorithm 1 consumes it through typed accessors.
     let mu = MuOracle::new(&gs, pattern, MuConfig::default());
     println!("\nμ components at p0, t20:");
-    println!("  Σ_(g1∩g3) = {:?}", mu.sigma(GroupId(0), GroupId(2), ProcessId(0), Time(20)));
-    println!("  Ω_g4      = {:?}", mu.omega(GroupId(3), ProcessId(0), Time(20)));
-    println!("  γ         = {:?}", mu.gamma_families(ProcessId(0), Time(20)));
+    println!(
+        "  Σ_(g1∩g3) = {:?}",
+        mu.sigma(GroupId(0), GroupId(2), ProcessId(0), Time(20))
+    );
+    println!(
+        "  Ω_g4      = {:?}",
+        mu.omega(GroupId(3), ProcessId(0), Time(20))
+    );
+    println!(
+        "  γ         = {:?}",
+        mu.gamma_families(ProcessId(0), Time(20))
+    );
 }

@@ -9,10 +9,10 @@
 //!
 //! Run with: `cargo run --example fault_injection`
 
+use gam_kernel::NoDetector;
 use genuine_multicast::core::baseline::SkeenProcess;
 use genuine_multicast::core::MessageId as CoreMessageId;
 use genuine_multicast::prelude::*;
-use gam_kernel::NoDetector;
 
 fn main() {
     let gs = topology::fig1();
@@ -21,8 +21,14 @@ fn main() {
 
     // --- γ's view, before and after -------------------------------------
     let gamma = GammaOracle::new(&gs, pattern.clone(), 0);
-    println!("γ at p0 before the crash: {:?}", gamma.families(ProcessId(0), Time(0)));
-    println!("γ at p0 after the crash:  {:?}", gamma.families(ProcessId(0), crash_at));
+    println!(
+        "γ at p0 before the crash: {:?}",
+        gamma.families(ProcessId(0), Time(0))
+    );
+    println!(
+        "γ at p0 after the crash:  {:?}",
+        gamma.families(ProcessId(0), crash_at)
+    );
 
     // --- Algorithm 1 under the crash ------------------------------------
     let mut rt = Runtime::new(&gs, pattern.clone(), RuntimeConfig::default());

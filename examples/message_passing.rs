@@ -8,15 +8,19 @@
 //!
 //! Run with: `cargo run --example message_passing`
 
+use gam_kernel::{RunOutcome, Scheduler as KScheduler};
 use genuine_multicast::core::distributed::{DistProcess, MuHistory};
 use genuine_multicast::core::MessageId;
 use genuine_multicast::prelude::*;
-use gam_kernel::{RunOutcome, Scheduler as KScheduler};
 
 fn main() {
     // The minimal cyclic topology: three groups in a ring.
     let gs = topology::ring(3, 2);
-    println!("topology: ring(3,2) — {} processes, ℱ = {:?}", gs.universe().len(), gs.cyclic_families());
+    println!(
+        "topology: ring(3,2) — {} processes, ℱ = {:?}",
+        gs.universe().len(),
+        gs.cyclic_families()
+    );
 
     let pattern = FailurePattern::all_correct(gs.universe());
     let mu = MuOracle::new(&gs, pattern.clone(), MuConfig::default());
@@ -30,7 +34,8 @@ fn main() {
     // Concurrent multicasts to all three groups.
     for g in 0..3u32 {
         let src = gs.members(GroupId(g)).min().unwrap();
-        sim.automaton_mut(src).multicast(MessageId(g as u64), GroupId(g));
+        sim.automaton_mut(src)
+            .multicast(MessageId(g as u64), GroupId(g));
         println!("multicast m{g} from {src} to {}", GroupId(g));
     }
 

@@ -46,7 +46,11 @@ fn main() {
     let mut samples: Vec<Vec<Vec<GroupSet>>> = Vec::new();
     for t in 0..=80u64 {
         gamma.advance(Time(t));
-        samples.push((0..n).map(|i| gamma.families(ProcessId(i as u32))).collect());
+        samples.push(
+            (0..n)
+                .map(|i| gamma.families(ProcessId(i as u32)))
+                .collect(),
+        );
     }
     validate_gamma(
         |p, t| samples[t.0 as usize][p.index()].clone(),
@@ -90,9 +94,7 @@ fn main() {
     let ext = OmegaExtraction::new(scope, omega_pattern.clone(), 8, 4);
     let leader = ext.leader(ProcessId(1)).expect("in scope");
     assert!(omega_pattern.is_correct(leader));
-    println!(
-        "Algorithm 5: simulation forest elects {leader} (correct) with p0 crashed at start"
-    );
+    println!("Algorithm 5: simulation forest elects {leader} (correct) with p0 crashed at start");
 
     println!("\n✔ every constituent of μ was extracted from the black box and certified");
 }

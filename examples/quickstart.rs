@@ -11,7 +11,11 @@ use genuine_multicast::prelude::*;
 fn main() {
     // 𝒫 = {p0..p4}; g1={p0,p1}, g2={p1,p2}, g3={p0,p2,p3}, g4={p0,p3,p4}.
     let gs = topology::fig1();
-    println!("topology: {} processes, {} groups", gs.universe().len(), gs.len());
+    println!(
+        "topology: {} processes, {} groups",
+        gs.universe().len(),
+        gs.len()
+    );
     for (g, members) in gs.iter() {
         println!("  {g} = {members}");
     }

@@ -19,6 +19,7 @@
 //! | [`objects`] | logs, consensus, adopt–commit; ABD registers; Paxos |
 //! | [`core`] | Algorithm 1, variations, baselines, property checkers |
 //! | [`emulation`] | Algorithms 2–5: extracting μ's constituents |
+//! | [`explore`] | schedule-space explorer, shrinking counterexamples, repros |
 //!
 //! ## Quickstart
 //!
@@ -46,6 +47,7 @@
 pub use gam_core as core;
 pub use gam_detectors as detectors;
 pub use gam_emulation as emulation;
+pub use gam_explore as explore;
 pub use gam_groups as groups;
 pub use gam_kernel as kernel;
 pub use gam_objects as objects;
@@ -61,6 +63,7 @@ pub mod prelude {
     pub use gam_detectors::{
         GammaOracle, IndicatorOracle, MuConfig, MuOracle, OmegaOracle, PerfectOracle, SigmaOracle,
     };
+    pub use gam_explore::{explore_exhaustive, explore_swarm, Repro, Scenario};
     pub use gam_groups::{topology, GroupId, GroupSet, GroupSystem};
     pub use gam_kernel::{
         Environment, FailurePattern, ProcessId, ProcessSet, Scheduler, Simulator, Time,

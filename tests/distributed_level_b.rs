@@ -3,10 +3,10 @@
 //! a `μ` oracle — checked for delivery, agreement and genuineness at the
 //! message level.
 
+use gam_kernel::{RunOutcome, Scheduler as KScheduler, Simulator};
 use genuine_multicast::core::distributed::{DistProcess, MuHistory};
 use genuine_multicast::core::MessageId;
 use genuine_multicast::prelude::*;
-use gam_kernel::{RunOutcome, Scheduler as KScheduler, Simulator};
 
 fn system(gs: &GroupSystem, pattern: FailurePattern) -> Simulator<DistProcess, MuHistory> {
     let autos = gs
@@ -66,8 +66,10 @@ fn wide_intersection_over_the_wire() {
     let gs = topology::two_overlapping(3, 2);
     let pattern = FailurePattern::all_correct(gs.universe());
     let mut sim = system(&gs, pattern);
-    sim.automaton_mut(ProcessId(0)).multicast(MessageId(0), GroupId(0));
-    sim.automaton_mut(ProcessId(3)).multicast(MessageId(1), GroupId(1));
+    sim.automaton_mut(ProcessId(0))
+        .multicast(MessageId(0), GroupId(0));
+    sim.automaton_mut(ProcessId(3))
+        .multicast(MessageId(1), GroupId(1));
     let out = sim.run(KScheduler::RoundRobin, 20_000_000);
     assert_eq!(out, RunOutcome::Quiescent);
     for p in gs.members(GroupId(0)) {
@@ -92,7 +94,8 @@ fn random_schedules_on_the_ring_over_the_wire() {
         let mut sim = system(&gs, pattern).with_seed(seed);
         for g in 0..3u32 {
             let src = gs.members(GroupId(g)).min().unwrap();
-            sim.automaton_mut(src).multicast(MessageId(g as u64), GroupId(g));
+            sim.automaton_mut(src)
+                .multicast(MessageId(g as u64), GroupId(g));
         }
         let out = sim.run(KScheduler::Random { null_prob: 0.2 }, 30_000_000);
         assert_eq!(out, RunOutcome::Quiescent, "seed {seed}");

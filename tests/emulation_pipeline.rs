@@ -2,9 +2,7 @@
 //! produce failure detector histories that pass the class validators, over
 //! a sweep of topologies and failure patterns.
 
-use genuine_multicast::detectors::validate::{
-    validate_gamma, validate_indicator, validate_sigma,
-};
+use genuine_multicast::detectors::validate::{validate_gamma, validate_indicator, validate_sigma};
 use genuine_multicast::emulation::{
     GammaExtraction, IndicatorExtraction, OmegaExtraction, SigmaExtraction,
 };
@@ -91,7 +89,10 @@ fn omega_extraction_elects_a_correct_leader_in_every_pattern() {
             assert!(pattern.is_correct(l), "{pattern}: leader {l} is faulty");
             leaders.insert(l);
         }
-        assert!(leaders.len() <= 1, "{pattern}: leaders disagree {leaders:?}");
+        assert!(
+            leaders.len() <= 1,
+            "{pattern}: leaders disagree {leaders:?}"
+        );
     }
 }
 

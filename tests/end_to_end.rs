@@ -49,10 +49,8 @@ fn fig1_every_single_crash_pattern() {
     let gs = topology::fig1();
     for victim in 0..5u32 {
         for crash_at in [0u64, 3, 20] {
-            let pattern = FailurePattern::from_crashes(
-                gs.universe(),
-                [(ProcessId(victim), Time(crash_at))],
-            );
+            let pattern =
+                FailurePattern::from_crashes(gs.universe(), [(ProcessId(victim), Time(crash_at))]);
             let report = one_per_group(&gs, pattern.clone(), RuntimeConfig::default());
             assert!(
                 report.quiescent,

@@ -6,15 +6,19 @@
 //! - Algorithm 1 satisfies integrity + ordering on random workloads and
 //!   schedules over the topology suite.
 //! - `γ` oracles are valid for random patterns and delays.
+//! - Scheduling is deterministic: equal seeds give equal trace hashes, and
+//!   recorded schedules replay (also through text serialization) to the
+//!   identical run.
 
+use genuine_multicast::explore::{trace_hash, Repro, Scenario};
+use genuine_multicast::kernel::{RandomSource, RecordingSource};
 use genuine_multicast::prelude::*;
 use proptest::prelude::*;
 
 /// A random group system: `n ∈ 4..8` processes, `k ∈ 2..5` random groups of
 /// size ≥ 2 (deduplicated), via [`topology::random`].
 fn arb_system() -> impl Strategy<Value = GroupSystem> {
-    (4usize..8, 2usize..5, any::<u64>())
-        .prop_map(|(n, k, seed)| topology::random(n, k, 0.45, seed))
+    (4usize..8, 2usize..5, any::<u64>()).prop_map(|(n, k, seed)| topology::random(n, k, 0.45, seed))
 }
 
 proptest! {
@@ -178,5 +182,59 @@ proptest! {
                 prop_assert!(!log.before(&in_order[j], &in_order[i]));
             }
         }
+    }
+
+    /// Same seed ⇒ identical trace hash, across the whole topology suite;
+    /// different seeds diverge somewhere in the suite.
+    #[test]
+    fn runs_are_seed_deterministic_across_the_suite(
+        topo_idx in 0usize..9,
+        seed in any::<u64>(),
+    ) {
+        let (name, gs) = topology::suite().swap_remove(topo_idx);
+        let scenario = Scenario::one_per_group(&gs, 1_000_000);
+        let run = |seed: u64| {
+            let mut source = RandomSource::new(seed);
+            let report = scenario.run(&mut source);
+            prop_assert!(report.quiescent, "{}: must quiesce", name);
+            Ok(trace_hash(&report))
+        };
+        prop_assert_eq!(run(seed)?, run(seed)?, "{}: same seed, same trace", name);
+        // a perturbed seed must change *some* schedule; on the 1-process
+        // corner there is nothing to reorder, so only check n > 1
+        if gs.universe().len() > 1 {
+            prop_assert_ne!(run(seed)?, run(!seed)?, "{}: seeds must matter", name);
+        }
+    }
+
+    /// Record → serialize → parse → replay reproduces the original trace
+    /// exactly (the fixture pipeline of `tests/regressions.rs`).
+    #[test]
+    fn recorded_schedules_replay_identically(
+        topo_idx in 0usize..9,
+        seed in any::<u64>(),
+    ) {
+        let (name, gs) = topology::suite().swap_remove(topo_idx);
+        let scenario = Scenario::one_per_group(&gs, 1_000_000);
+        let mut source = RecordingSource::new(RandomSource::new(seed));
+        let original = scenario.run(&mut source);
+        let repro = Repro {
+            scenario,
+            schedule: source.into_log(),
+            seed,
+            property: None,
+        };
+        prop_assert_eq!(
+            repro.trace_hash(),
+            trace_hash(&original),
+            "{}: replay diverged from the recording", name
+        );
+        let reparsed = Repro::parse(&repro.to_text())
+            .map_err(TestCaseError::fail)?;
+        prop_assert_eq!(
+            reparsed.trace_hash(),
+            trace_hash(&original),
+            "{}: replay diverged after text round-trip", name
+        );
     }
 }

@@ -1,0 +1,62 @@
+//! Replays every checked-in repro fixture and asserts its verdict.
+//!
+//! Fixtures live in `tests/fixtures/*.repro` (the `gam-repro v1` text
+//! format). Clean fixtures (property `-`) must pass `spec::check_all`;
+//! counterexample fixtures must still violate their recorded property.
+//! Either way the replay must be deterministic: two replays of the same
+//! fixture hash identically.
+//!
+//! To add a regression: paste the `to_text()` output of a shrunk
+//! [`Repro`] (the explorer prints it on every violation) into a new
+//! `.repro` file here. Clean fixtures are regenerated with
+//! `cargo run -p gam-explore --example gen_fixtures`.
+
+use genuine_multicast::explore::Repro;
+
+fn fixtures() -> Vec<(String, String)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("tests/fixtures exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_some_and(|e| e == "repro") {
+            let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path).expect("readable fixture");
+            out.push((name, text));
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn all_fixtures_replay_to_their_recorded_verdict() {
+    let fixtures = fixtures();
+    assert!(!fixtures.is_empty(), "no fixtures checked in");
+    for (name, text) in &fixtures {
+        let repro = Repro::parse(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        repro.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn all_fixtures_replay_deterministically() {
+    for (name, text) in &fixtures() {
+        let repro = Repro::parse(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (h1, h2) = (repro.trace_hash(), repro.trace_hash());
+        assert_eq!(h1, h2, "{name}: replay is not deterministic");
+    }
+}
+
+#[test]
+fn fixture_serialization_is_canonical() {
+    for (name, text) in &fixtures() {
+        let repro = Repro::parse(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let reparsed = Repro::parse(&repro.to_text()).expect("round-trips");
+        assert_eq!(
+            reparsed.to_text(),
+            repro.to_text(),
+            "{name}: serialization is not canonical"
+        );
+        assert_eq!(reparsed.schedule, repro.schedule, "{name}");
+    }
+}

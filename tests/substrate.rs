@@ -2,12 +2,12 @@
 //! shared objects"): ABD registers from `Σ` and `Ω∧Σ` consensus, driven
 //! through the kernel simulator, including a consensus-backed shared log.
 
+use gam_kernel::{RunOutcome, Scheduler as KScheduler};
 use genuine_multicast::detectors::{OmegaMode, OmegaOracle, SigmaMode, SigmaOracle};
 use genuine_multicast::objects::{
     AbdEvent, AbdProcess, OmegaSigmaHistory, PaxosProcess, RegisterId,
 };
 use genuine_multicast::prelude::*;
-use gam_kernel::{RunOutcome, Scheduler as KScheduler};
 
 #[test]
 fn abd_register_linearizes_under_random_schedules_and_crashes() {
@@ -99,10 +99,8 @@ fn consensus_sequence_builds_a_replicated_log() {
 fn paxos_liveness_with_adversarial_omega_and_minority_crash() {
     let n = 5;
     let scope = ProcessSet::first_n(n);
-    let pattern = FailurePattern::from_crashes(
-        scope,
-        [(ProcessId(0), Time(50)), (ProcessId(1), Time(80))],
-    );
+    let pattern =
+        FailurePattern::from_crashes(scope, [(ProcessId(0), Time(50)), (ProcessId(1), Time(80))]);
     let hist = OmegaSigmaHistory::new(
         OmegaOracle::new(
             scope,
@@ -127,7 +125,11 @@ fn paxos_liveness_with_adversarial_omega_and_minority_crash() {
     );
     let decided: Vec<u64> = (scope & pattern.correct())
         .iter()
-        .map(|p| *sim.automaton(p).decision(0).expect("correct processes decide"))
+        .map(|p| {
+            *sim.automaton(p)
+                .decision(0)
+                .expect("correct processes decide")
+        })
         .collect();
     assert!(decided.windows(2).all(|w| w[0] == w[1]), "agreement");
 }

@@ -15,9 +15,7 @@
 //! separation we exhibit the distinguishing behaviour.
 
 use genuine_multicast::core::baseline::BroadcastBased;
-use genuine_multicast::core::variants::{
-    check_group_parallelism, check_group_parallelism_staged,
-};
+use genuine_multicast::core::variants::{check_group_parallelism, check_group_parallelism_staged};
 use genuine_multicast::prelude::*;
 
 fn one_per_group(gs: &GroupSystem, pattern: FailurePattern, config: RuntimeConfig) -> RunReport {
@@ -90,8 +88,7 @@ fn row3_perfect_detector_implements_mu_components() {
     use gam_detectors::validate::{validate_gamma, validate_omega, validate_sigma};
     use gam_detectors::PerfectOracle;
     let gs = topology::fig1();
-    let pattern =
-        FailurePattern::from_crashes(gs.universe(), [(ProcessId(1), Time(5))]);
+    let pattern = FailurePattern::from_crashes(gs.universe(), [(ProcessId(1), Time(5))]);
     let perfect = PerfectOracle::new(pattern.clone(), 0);
     let universe = gs.universe();
     // Σ from 𝒫: quorum = not-suspected processes.

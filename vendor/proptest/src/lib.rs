@@ -1,0 +1,422 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API this workspace
+//! uses: the `proptest!` macro, range/tuple/`any`/`prop_map`/vec strategies,
+//! `prop_assert!`-style assertions, `ProptestConfig::with_cases` and
+//! `TestCaseError`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this shim as a path dependency. Differences from the real crate:
+//!
+//! - Sampling is **deterministic**: each test derives its RNG seed from the
+//!   test name and case index, so a failure reproduces on every run (no
+//!   regression files needed; `proptest-regressions/` directories are
+//!   ignored).
+//! - There is no shrinking. A failing case prints its fully `Debug`-formatted
+//!   inputs instead; the repo's `gam-explore` crate provides domain-aware
+//!   shrinking for scheduling counterexamples.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::Rng as _;
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` sampled cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Error/result plumbing (subset of `proptest::test_runner`).
+pub mod test_runner {
+    /// Why a test case failed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The property does not hold.
+        Fail(String),
+        /// The input was rejected (not counted as a failure).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed case with the given message.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejected case with the given message.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+                TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// The per-case result type the `proptest!` body is wrapped in.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+pub use test_runner::TestCaseError;
+
+/// A source of sampled values.
+///
+/// Unlike the real crate there is no value tree: strategies sample directly
+/// from the RNG and there is no shrinking.
+pub trait Strategy {
+    /// The type of sampled values.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps sampled values through `f` (as `proptest::Strategy::prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Types with a canonical full-domain strategy (subset of
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Samples an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// The full-domain strategy for `T` (as `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng as _;
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Samples `Vec`s whose length lies in `len`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Derives the deterministic per-test base seed from the test's name.
+#[doc(hidden)]
+pub fn __seed_for(test_name: &str) -> u64 {
+    // FNV-1a, then honour PROPTEST_SEED as an extra perturbation if set.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    match std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        Some(s) => h ^ s,
+        None => h,
+    }
+}
+
+#[doc(hidden)]
+pub fn __case_rng(base: u64, case: u32) -> StdRng {
+    use rand::SeedableRng as _;
+    StdRng::seed_from_u64(base ^ ((case as u64) << 32 | 0x5bd1_e995))
+}
+
+/// The `proptest!` macro: declares `#[test]` functions whose arguments are
+/// sampled from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let __base = $crate::__seed_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::__case_rng(__base, __case);
+                let mut __inputs = ::std::string::String::new();
+                $(
+                    let __sampled = $crate::Strategy::sample(&($strat), &mut __rng);
+                    __inputs.push_str(&format!(
+                        concat!(stringify!($arg), " = {:?}; "),
+                        &__sampled
+                    ));
+                    let $arg = __sampled;
+                )+
+                let __result: $crate::test_runner::TestCaseResult =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match __result {
+                    Ok(()) => {}
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(__reason)) => panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}\n  (deterministic shim: rerunning reproduces this case)",
+                        __case + 1,
+                        __config.cases,
+                        __reason,
+                        __inputs,
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body (returns a
+/// [`TestCaseError`] instead of panicking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: {:?} == {:?}",
+            __a,
+            __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: {:?} == {:?}: {}",
+            __a,
+            __b,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: {:?} != {:?}",
+            __a,
+            __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: {:?} != {:?}: {}",
+            __a,
+            __b,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// The most commonly used items, re-exported flat (as `proptest::prelude`).
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Arbitrary, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges stay in bounds; tuples and maps compose.
+        #[test]
+        fn sampled_values_in_bounds(
+            x in 3u32..9,
+            (a, b) in (0u8..2, 10usize..20),
+            v in collection::vec(0u64..5, 1..8),
+        ) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(a < 2, "a = {}", a);
+            prop_assert!((10..20).contains(&b));
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|e| *e < 5));
+        }
+
+        /// prop_map transforms the sampled value.
+        #[test]
+        fn mapped_strategy(s in (1u32..5).prop_map(|n| n * 100)) {
+            prop_assert!((100..500).contains(&s));
+            prop_assert_eq!(s % 100, 0);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runners() {
+        use crate::Strategy as _;
+        let strat = collection::vec(0u64..1000, 5..6);
+        let a = strat.sample(&mut crate::__case_rng(1, 2));
+        let b = strat.sample(&mut crate::__case_rng(1, 2));
+        assert_eq!(a, b);
+        let c = strat.sample(&mut crate::__case_rng(1, 3));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn error_constructors() {
+        assert_eq!(TestCaseError::fail("nope").to_string(), "nope");
+        assert!(TestCaseError::reject("thin air")
+            .to_string()
+            .contains("rejected"));
+    }
+}
