@@ -11,8 +11,9 @@
 use gam_bench::{bench, one_per_group_workload};
 use gam_core::baseline::BroadcastBased;
 use gam_core::{Runtime, RuntimeConfig, Variant};
+use gam_engine::{run_fair, RuntimeExecutor};
 use gam_groups::{topology, GroupId};
-use gam_kernel::FailurePattern;
+use gam_kernel::{FailurePattern, RunOutcome};
 
 fn bench_table1() {
     for (name, gs) in topology::suite() {
@@ -64,7 +65,7 @@ fn bench_genuine_vs_naive() {
                 RuntimeConfig::default(),
             );
             rt.multicast(gs.members(GroupId(0)).min().unwrap(), GroupId(0), 0);
-            rt.run(10_000_000)
+            run_fair(&mut RuntimeExecutor::new(rt), 10_000_000) == RunOutcome::Quiescent
         });
         bench(&format!("genuine_vs_naive/broadcast/{k}"), || {
             let mut bb = BroadcastBased::new(&gs, FailurePattern::all_correct(gs.universe()));
@@ -89,7 +90,7 @@ fn bench_convoy() {
             }
             let last = GroupId(ahead as u32);
             rt.multicast(gs.members(last).min().unwrap(), last, 99);
-            rt.run(10_000_000)
+            run_fair(&mut RuntimeExecutor::new(rt), 10_000_000) == RunOutcome::Quiescent
         });
     }
 }

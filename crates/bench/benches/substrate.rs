@@ -7,7 +7,8 @@
 
 use gam_bench::bench;
 use gam_detectors::{OmegaMode, OmegaOracle, SigmaMode, SigmaOracle};
-use gam_kernel::{FailurePattern, ProcessId, ProcessSet, Scheduler, Simulator};
+use gam_engine::{run_fair, KernelExecutor};
+use gam_kernel::{FailurePattern, ProcessId, ProcessSet, Simulator};
 use gam_objects::{
     AbdProcess, AdoptCommit, Consensus, Log, OmegaSigmaHistory, PaxosProcess, Pos, RegisterId,
 };
@@ -68,7 +69,7 @@ fn bench_abd() {
             let mut sim = Simulator::new(autos, pattern, sigma);
             sim.automaton_mut(ProcessId(0)).write(RegisterId(0), 7);
             sim.automaton_mut(ProcessId(1)).read(RegisterId(0));
-            sim.run(Scheduler::RoundRobin, 1_000_000)
+            run_fair(&mut KernelExecutor::new(sim), 1_000_000)
         });
     }
 }
@@ -87,7 +88,7 @@ fn bench_paxos() {
                 .collect();
             let mut sim = Simulator::new(autos, pattern, hist);
             sim.automaton_mut(ProcessId(0)).propose(0, 42);
-            sim.run(Scheduler::RoundRobin, 1_000_000)
+            run_fair(&mut KernelExecutor::new(sim), 1_000_000)
         });
     }
 }

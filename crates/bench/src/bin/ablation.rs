@@ -18,8 +18,9 @@
 use gam_bench::json::{write_experiment, Json};
 use gam_core::{Runtime, RuntimeConfig, Variant};
 use gam_detectors::{MuConfig, OmegaMode, OmegaOracle, SigmaMode, SigmaOracle};
+use gam_engine::{run_fair, KernelExecutor, RuntimeExecutor};
 use gam_groups::{topology, GroupId};
-use gam_kernel::{FailurePattern, ProcessId, ProcessSet, RunOutcome, Scheduler, Simulator, Time};
+use gam_kernel::{FailurePattern, ProcessId, ProcessSet, RunOutcome, Simulator, Time};
 use gam_objects::{OmegaSigmaHistory, PaxosProcess};
 
 struct SweepRow {
@@ -61,8 +62,13 @@ fn main() {
             let src = (gs.members(GroupId(g)) & pattern.correct()).min().unwrap();
             rt.multicast(src, GroupId(g), 0);
         }
-        assert!(rt.run(10_000_000), "delay {delay} must still terminate");
-        let actions = rt.now().0;
+        let mut exec = RuntimeExecutor::new(rt);
+        assert_eq!(
+            run_fair(&mut exec, 10_000_000),
+            RunOutcome::Quiescent,
+            "delay {delay} must still terminate"
+        );
+        let actions = exec.runtime().now().0;
         println!("{delay:<12} {actions:>22}");
         gamma_delay.push(SweepRow {
             knob: delay,
@@ -101,8 +107,9 @@ fn main() {
             let src = (gs2.members(GroupId(g)) & pattern.correct()).min().unwrap();
             rt.multicast(src, GroupId(g), 0);
         }
-        assert!(rt.run(10_000_000));
-        let actions = rt.now().0;
+        let mut exec = RuntimeExecutor::new(rt);
+        assert_eq!(run_fair(&mut exec, 10_000_000), RunOutcome::Quiescent);
+        let actions = exec.runtime().now().0;
         println!("{delay:<12} {actions:>22}");
         indicator_delay.push(SweepRow {
             knob: delay,
@@ -138,9 +145,10 @@ fn main() {
         for i in 0..5 {
             sim.automaton_mut(ProcessId(i as u32)).propose(0, i as u64);
         }
-        let out = sim.run(Scheduler::RoundRobin, 10_000_000);
+        let mut exec = KernelExecutor::new(sim);
+        let out = run_fair(&mut exec, 10_000_000);
         assert_eq!(out, RunOutcome::Quiescent);
-        let steps = sim.trace().total_steps();
+        let steps = exec.sim().trace().total_steps();
         println!("{stab:<12} {steps:>22}");
         omega_stab.push(SweepRow {
             knob: stab,

@@ -16,8 +16,9 @@
 use gam_bench::json::{write_experiment, Json};
 use gam_core::baseline::BroadcastBased;
 use gam_core::{Runtime, RuntimeConfig};
+use gam_engine::{run_fair, RuntimeExecutor};
 use gam_groups::{topology, GroupId};
-use gam_kernel::{FailurePattern, ProcessSet};
+use gam_kernel::{FailurePattern, ProcessSet, RunOutcome};
 
 struct Perf1Row {
     groups: usize,
@@ -60,7 +61,9 @@ fn main() {
             RuntimeConfig::default(),
         );
         rt.multicast(addressed.min().unwrap(), GroupId(0), 0);
-        let report = rt.run_to_quiescence(10_000_000);
+        let mut exec = RuntimeExecutor::new(rt);
+        assert_eq!(run_fair(&mut exec, 10_000_000), RunOutcome::Quiescent);
+        let report = exec.report(true);
         let g_total: u64 = report.actions_of.iter().sum();
         let g_unaddr = unaddressed_steps(&report, addressed);
         // broadcast-based
@@ -112,8 +115,9 @@ fn main() {
         let last = GroupId(ahead as u32);
         let m = rt.multicast(gs.members(last).min().unwrap(), last, 99);
         let before = rt.now();
-        rt.run_to_quiescence(10_000_000);
-        let report = rt.report(true);
+        let mut exec = RuntimeExecutor::new(rt);
+        assert_eq!(run_fair(&mut exec, 10_000_000), RunOutcome::Quiescent);
+        let report = exec.report(true);
         let delivered_at = report.first_delivery(m).expect("delivered");
         let latency = delivered_at.0 - before.0;
         println!("{ahead:<14} {latency:>26}");

@@ -15,6 +15,7 @@ use gam_bench::{classify, crash_first_intersection, one_per_group_workload, Outc
 use gam_core::baseline::BroadcastBased;
 use gam_core::variants::{check_group_parallelism, check_group_parallelism_staged};
 use gam_core::{spec, Runtime, RuntimeConfig, Variant};
+use gam_engine::{run_fair, KernelExecutor, RuntimeExecutor};
 use gam_groups::{topology, GroupId};
 use gam_kernel::{FailurePattern, ProcessId, ProcessSet, Time};
 
@@ -212,7 +213,10 @@ fn main() {
             RuntimeConfig::default(),
         );
         rt.multicast(ProcessId(1), GroupId(1), 0);
-        rt.run_only(ProcessSet::singleton(ProcessId(1)), 100_000);
+        // adversarial restricted schedule: only p2 runs, through the engine
+        let mut exec = RuntimeExecutor::with_set(rt, ProcessSet::singleton(ProcessId(1)));
+        run_fair(&mut exec, 100_000);
+        let mut rt = exec.into_runtime();
         let blocked = check_group_parallelism_staged(&mut rt, GroupId(0), 200_000).is_err();
         rows.push(Row {
             genuine: "✓✓",
@@ -272,7 +276,7 @@ fn main() {
         use gam_core::distributed::{DistProcess, MuHistory};
         use gam_core::MessageId;
         use gam_detectors::{MuConfig, MuOracle};
-        use gam_kernel::{RunOutcome, Scheduler, Simulator};
+        use gam_kernel::{RunOutcome, Simulator};
         let gs = topology::ring(3, 2);
         let pattern = FailurePattern::all_correct(gs.universe());
         let mu = MuOracle::new(&gs, pattern.clone(), MuConfig::default());
@@ -287,11 +291,15 @@ fn main() {
             sim.automaton_mut(src)
                 .multicast(MessageId(g as u64), GroupId(g));
         }
-        let out = sim.run(Scheduler::RoundRobin, 10_000_000);
+        let mut exec = KernelExecutor::new(sim);
+        let out = run_fair(&mut exec, 10_000_000);
         let all_delivered = (0..3u32).all(|g| {
-            gs.members(GroupId(g))
-                .iter()
-                .all(|p| sim.automaton(p).delivered().contains(&MessageId(g as u64)))
+            gs.members(GroupId(g)).iter().all(|p| {
+                exec.sim()
+                    .automaton(p)
+                    .delivered()
+                    .contains(&MessageId(g as u64))
+            })
         });
         let solved = out == RunOutcome::Quiescent && all_delivered;
         rows.push(Row {
@@ -300,7 +308,7 @@ fn main() {
             detector: "μ (message passing)",
             scenario: format!(
                 "ring(3,2) over the wire, {} protocol messages",
-                sim.total_messages()
+                exec.sim().total_messages()
             ),
             outcome: if solved {
                 "solved".into()

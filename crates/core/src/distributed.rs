@@ -741,6 +741,51 @@ impl Automaton for DistProcess {
     }
 }
 
+/// Builds the property-checker [`RunReport`](crate::RunReport) of a
+/// kernel-level run driving [`DistProcess`] automata, so Level-B runs flow
+/// through the same `spec` checkers as Level-A runs.
+///
+/// `submissions` lists the user-level multicasts injected before the run,
+/// in [`MessageId`] order (index `i` is message `i`); they are stamped at
+/// [`Time::ZERO`]. Deliveries and their times come from the
+/// [`DistDelivered`] trace events; the per-process action counts are the
+/// simulator's step counters.
+pub fn run_report(
+    sim: &gam_kernel::Simulator<DistProcess, MuHistory>,
+    system: &GroupSystem,
+    submissions: &[(ProcessId, GroupId, u64)],
+    quiescent: bool,
+) -> crate::RunReport {
+    let n = sim.universe().max().map_or(0, |p| p.index() + 1);
+    let mut delivered = vec![Vec::new(); n];
+    for ev in sim.trace().events() {
+        delivered[ev.pid.index()].push(crate::Delivery {
+            msg: ev.event.msg,
+            at: ev.time,
+        });
+    }
+    crate::RunReport {
+        system: system.clone(),
+        pattern: sim.pattern().clone(),
+        messages: submissions
+            .iter()
+            .map(|(src, group, payload)| crate::MessageInfo {
+                src: *src,
+                group: *group,
+                payload: *payload,
+            })
+            .collect(),
+        multicast_at: vec![Time::ZERO; submissions.len()],
+        delivered,
+        actions_of: sim
+            .universe()
+            .iter()
+            .map(|p| sim.trace().steps_of(p))
+            .collect(),
+        quiescent,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,4 +22,4 @@ pub mod variants;
 
 pub use message::{Datum, MessageId, MessageInfo};
 pub use phase::Phase;
-pub use runtime::{ActionScheduler, Delivery, RunReport, Runtime, RuntimeConfig, Variant};
+pub use runtime::{ActionScheduler, Delivery, Fired, RunReport, Runtime, RuntimeConfig, Variant};

@@ -86,6 +86,17 @@ enum Action {
     Deliver(MessageId),
 }
 
+/// What a single [`Runtime::fire_enabled`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fired {
+    /// Whether an action actually fired (`false` when the process crashed
+    /// at the very tick of its step — the step is consumed but has no
+    /// effect, exactly as in the run loops).
+    pub fired: bool,
+    /// The message delivered by the action, if it was a `Deliver`.
+    pub delivered: Option<MessageId>,
+}
+
 /// A recorded delivery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Delivery {
@@ -505,7 +516,7 @@ impl Runtime {
     /// While obligations remain the run is not quiescent — a guard may be
     /// waiting on *time* alone (a γ exclusion, an indicator firing), so the
     /// run loop idles the clock forward instead of stopping.
-    fn has_obligations(&self, set: ProcessSet) -> bool {
+    pub fn has_obligations(&self, set: ProcessSet) -> bool {
         self.messages.iter().enumerate().any(|(i, info)| {
             let m = MessageId(i as u64);
             (self.system.members(info.group) & set)
@@ -577,7 +588,7 @@ impl Runtime {
     /// The choice space handed to the source lists each live process of
     /// `set` with at least one enabled action, in ascending process order,
     /// paired with its enabled-action count; sub-choice `c` fires the
-    /// `c`-th enabled action in the deterministic [`Action`] order (so
+    /// `c`-th enabled action in the deterministic `Action` order (so
     /// sub-choice `0` is the action the round-robin scheduler would fire).
     /// Idle ticks — the clock advancing while guards wait on time alone —
     /// happen automatically and are not scheduling choices.
@@ -587,42 +598,85 @@ impl Runtime {
         source: &mut S,
         max_actions: u64,
     ) -> RunOutcome {
+        let mut options = Vec::new();
         let mut taken = 0u64;
         loop {
             if taken >= max_actions {
                 return RunOutcome::BudgetExhausted;
             }
-            let candidates: Vec<(ProcessId, Vec<Action>)> = set
-                .iter()
-                .filter(|p| self.alive(*p))
-                .map(|p| {
-                    let mut acts = self.enabled_actions(p);
-                    acts.sort_unstable();
-                    (p, acts)
-                })
-                .filter(|(_, a)| !a.is_empty())
-                .collect();
-            if candidates.is_empty() {
+            self.options_into(set, &mut options);
+            if options.is_empty() {
                 if !self.has_obligations(set) {
                     return RunOutcome::Quiescent;
                 }
-                self.now = self.now.next();
+                self.idle_tick();
                 taken += 1;
                 continue;
             }
-            let options: Vec<(ProcessId, usize)> =
-                candidates.iter().map(|(p, a)| (*p, a.len())).collect();
             let Some((idx, choice)) = source.next_choice(&options) else {
                 return RunOutcome::Stopped;
             };
-            let (p, acts) = &candidates[idx];
-            let (p, action) = (*p, acts[choice.min(acts.len() - 1)]);
-            self.now = self.now.next();
-            if self.alive(p) {
-                self.apply(p, action);
-            }
+            self.fire_enabled(options[idx].0, choice);
             taken += 1;
         }
+    }
+
+    /// The current choice space over `set`, written into a caller-provided
+    /// buffer: each live process with at least one enabled action, in
+    /// ascending process order, paired with its enabled-action count. This
+    /// is the allocation-free option enumerator the `gam-engine` hot loop
+    /// uses; sub-choice `c` corresponds to the `c`-th enabled action in the
+    /// deterministic `Action` order (fired by [`Runtime::fire_enabled`]).
+    pub fn options_into(&self, set: ProcessSet, out: &mut Vec<(ProcessId, usize)>) {
+        out.clear();
+        for p in set {
+            if self.alive(p) {
+                let n = self.enabled_actions(p).len();
+                if n > 0 {
+                    out.push((p, n));
+                }
+            }
+        }
+    }
+
+    /// Fires the `choice`-th enabled action of `p` (in the deterministic
+    /// `Action` order; out-of-range choices clamp to the last action, as
+    /// in replay). Advances the clock by one tick first, so a process that
+    /// crashes exactly at the new time consumes the step without effect —
+    /// the same semantics as the built-in run loops.
+    pub fn fire_enabled(&mut self, p: ProcessId, choice: usize) -> Fired {
+        let mut acts = self.enabled_actions(p);
+        acts.sort_unstable();
+        self.now = self.now.next();
+        if acts.is_empty() || !self.alive(p) {
+            return Fired::default();
+        }
+        let action = acts[choice.min(acts.len() - 1)];
+        self.apply(p, action);
+        Fired {
+            fired: true,
+            delivered: match action {
+                Action::Deliver(m) => Some(m),
+                _ => None,
+            },
+        }
+    }
+
+    /// Advances the clock by one tick without firing an action. Guards can
+    /// become enabled purely by the passage of time (detector
+    /// stabilisation, γ exclusions), so the run loops idle instead of
+    /// stopping while obligations remain.
+    pub fn idle_tick(&mut self) {
+        self.now = self.now.next();
+    }
+
+    /// Returns `true` when `set` has quiesced: no live process of `set` has
+    /// an enabled action *and* none owes a delivery (see
+    /// [`Runtime::has_obligations`]).
+    pub fn is_quiescent_in(&self, set: ProcessSet) -> bool {
+        set.iter()
+            .all(|p| !self.alive(p) || self.enabled_actions(p).is_empty())
+            && !self.has_obligations(set)
     }
 
     /// Produces the report for property checking.

@@ -284,6 +284,45 @@ pub fn check_pairwise_ordering(report: &RunReport) -> Result<(), SpecViolation> 
     Ok(())
 }
 
+/// *(Agreement on co-delivered pairs)* Any two processes that both deliver
+/// two messages deliver them in the same relative order.
+///
+/// Unlike [`check_ordering`], this draws no edges toward messages a process
+/// has *not yet* delivered, so it is sound on partial (budget-cut) runs: a
+/// valid prefix of a correct run never trips it. It is correspondingly
+/// weaker on complete runs — use [`check_all`] for those.
+///
+/// # Errors
+///
+/// Returns the first [`SpecViolation`] found.
+pub fn check_pairwise_agreement(report: &RunReport) -> Result<(), SpecViolation> {
+    let n = report.delivered.len();
+    for i in 0..n {
+        let p = ProcessId(i as u32);
+        let dp = report.delivered_by(p);
+        for j in 0..n {
+            let q = ProcessId(j as u32);
+            let dq = report.delivered_by(q);
+            for (a, m1) in dp.iter().enumerate() {
+                for m2 in &dp[a + 1..] {
+                    if let (Some(b1), Some(b2)) = (
+                        dq.iter().position(|x| x == m1),
+                        dq.iter().position(|x| x == m2),
+                    ) {
+                        if b1 >= b2 {
+                            return Err(SpecViolation {
+                                property: "pairwise-agreement",
+                                detail: format!("{p} and {q} disagree on {m1}/{m2}"),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// *(Group Sequentiality — §4.1)* Messages addressed to the same group are
 /// totally ordered by `≺`: under the Proposition 1 client layer this means
 /// every member delivers its group's messages in submission (`L_g`) order.
@@ -573,6 +612,47 @@ mod tests {
         assert_eq!(
             check_group_sequential(&r).unwrap_err().property,
             "group-sequential"
+        );
+    }
+
+    #[test]
+    fn pairwise_agreement_is_sound_on_partial_runs() {
+        let system = topology::single_group(2);
+        let pattern = FailurePattern::all_correct(system.universe());
+        let mut r = RunReport {
+            system,
+            pattern,
+            messages: vec![
+                MessageInfo {
+                    src: ProcessId(0),
+                    group: GroupId(0),
+                    payload: 0,
+                },
+                MessageInfo {
+                    src: ProcessId(1),
+                    group: GroupId(0),
+                    payload: 1,
+                },
+            ],
+            multicast_at: vec![Time(1), Time(2)],
+            delivered: vec![Vec::new(); 2],
+            actions_of: vec![1; 2],
+            quiescent: false,
+        };
+        // Budget-cut prefix: p0 has delivered only m0, p1 only m1. No pair
+        // is co-delivered, so agreement holds — while `check_ordering`
+        // draws edges toward the still-undelivered messages and reports a
+        // spurious cycle.
+        deliver(&mut r, 0, 0, 3);
+        deliver(&mut r, 1, 1, 3);
+        check_pairwise_agreement(&r).unwrap();
+        assert_eq!(check_ordering(&r).unwrap_err().property, "ordering");
+        // A genuine inversion on a co-delivered pair is still caught.
+        deliver(&mut r, 0, 1, 4);
+        deliver(&mut r, 1, 0, 4);
+        assert_eq!(
+            check_pairwise_agreement(&r).unwrap_err().property,
+            "pairwise-agreement"
         );
     }
 

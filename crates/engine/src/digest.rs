@@ -1,0 +1,126 @@
+//! Order-sensitive run digests — the one shared hash implementation.
+//!
+//! Determinism claims ("same seed ⇒ same run", "a `Repro` replays
+//! byte-identically") are checked by comparing a 64-bit digest of the
+//! observable run outcome. Both substrates fold their digests through the
+//! same [`Digest`] accumulator, so a runtime-level hash and a kernel-level
+//! hash disagree only when the runs genuinely differ — never because two
+//! copies of the hash function drifted apart (the pre-engine layout kept a
+//! second copy in `gam-explore`).
+//!
+//! [`Digest`] is *incremental*: an executor folds each step in as it
+//! happens, so `state_digest()` is O(1) to read at any point of a run
+//! instead of requiring a full end-of-run rehash of a recorded schedule.
+
+use gam_core::RunReport;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental 64-bit FNV-1a accumulator over a word stream.
+///
+/// Folding words one at a time yields exactly the same value as hashing
+/// the whole stream at once with [`fnv1a`], so post-hoc digests and
+/// incrementally-maintained ones are interchangeable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Digest {
+    h: u64,
+}
+
+impl Default for Digest {
+    fn default() -> Self {
+        Digest::new()
+    }
+}
+
+impl Digest {
+    /// An empty digest (the FNV-1a offset basis).
+    pub const fn new() -> Self {
+        Digest { h: FNV_OFFSET }
+    }
+
+    /// Resumes accumulation from a previously read digest value — used to
+    /// extend an executor's incremental `state_digest()` with end-of-run
+    /// summary words (outcome, final delivery sequences).
+    pub const fn resume(h: u64) -> Self {
+        Digest { h }
+    }
+
+    /// Folds one word into the digest.
+    pub fn push(&mut self, w: u64) {
+        let mut h = self.h;
+        for byte in w.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.h = h;
+    }
+
+    /// Folds a stream of words into the digest.
+    pub fn push_all(&mut self, words: impl IntoIterator<Item = u64>) {
+        for w in words {
+            self.push(w);
+        }
+    }
+
+    /// The current digest value.
+    pub const fn value(&self) -> u64 {
+        self.h
+    }
+}
+
+/// 64-bit FNV-1a over a word stream.
+pub fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut d = Digest::new();
+    d.push_all(words);
+    d.value()
+}
+
+/// Digest of a [`RunReport`]'s observable outcome.
+///
+/// Folds in every delivery (process, message, time) **in order**, plus the
+/// per-process action counters and the quiescence bit, so any divergence —
+/// including one caused by iteration over an unordered map leaking into
+/// scheduling — flips it.
+pub fn trace_hash(report: &RunReport) -> u64 {
+    let mut d = Digest::new();
+    d.push(u64::from(report.quiescent));
+    d.push(report.delivered.len() as u64);
+    for (i, deliveries) in report.delivered.iter().enumerate() {
+        d.push(i as u64);
+        d.push(report.actions_of[i]);
+        for del in deliveries {
+            d.push(del.msg.0);
+            d.push(del.at.0);
+        }
+    }
+    d.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_distinguishes_order() {
+        assert_ne!(fnv1a([1, 2]), fnv1a([2, 1]));
+        assert_ne!(fnv1a([]), fnv1a([0]));
+        assert_eq!(fnv1a([7, 9]), fnv1a([7, 9]));
+    }
+
+    #[test]
+    fn incremental_equals_batch() {
+        let words = [3u64, 1, 4, 1, 5, 9, 2, 6];
+        let mut d = Digest::new();
+        for w in words {
+            d.push(w);
+        }
+        assert_eq!(d.value(), fnv1a(words));
+        // resuming mid-stream is transparent
+        let mut a = Digest::new();
+        a.push_all([3, 1, 4, 1]);
+        let mut b = Digest::resume(a.value());
+        b.push_all([5, 9, 2, 6]);
+        assert_eq!(b.value(), fnv1a(words));
+    }
+}

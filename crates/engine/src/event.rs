@@ -1,0 +1,212 @@
+//! The trace bus: structured run events and the [`Observer`] hook.
+//!
+//! Every [`Executor`](crate::Executor) publishes the observable happenings
+//! of a run — steps, message traffic, failure-detector queries, deliveries,
+//! crashes, idle ticks — as [`TraceEvent`]s on an observer bus. Consumers
+//! (statistics collectors, live trace printers, equivalence checkers)
+//! subscribe once and work unchanged against either substrate.
+//!
+//! Observation is strictly additive: executors skip all event construction
+//! when no observer is attached, so the hot step loop pays nothing for the
+//! bus it doesn't use.
+
+use gam_core::MessageId;
+use gam_kernel::{MsgId, ProcessId, Time};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One observable happening of a run, published to [`Observer`]s.
+///
+/// Not every substrate emits every variant: the message-passing kernel
+/// emits `Send`/`Receive`/`FdQuery` (its steps move messages and sample the
+/// detector), while the shared-memory runtime emits `Idle` (its clock can
+/// advance without a step while guards wait on detector time). Both emit
+/// `Step`, `Deliver` and `Crash`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A process took a scheduled step (sub-choice `choice` of its options).
+    Step {
+        /// When the step was taken.
+        time: Time,
+        /// The stepping process.
+        pid: ProcessId,
+        /// The sub-choice taken, in the driver's deterministic option order.
+        choice: usize,
+    },
+    /// A send operation (kernel substrate; one event per send, fanning out
+    /// to the destination set under a single [`MsgId`]).
+    Send {
+        /// When the message was sent.
+        time: Time,
+        /// The sender.
+        pid: ProcessId,
+    },
+    /// A non-null message receipt (kernel substrate).
+    Receive {
+        /// When the message was received.
+        time: Time,
+        /// The receiver.
+        pid: ProcessId,
+        /// The received message.
+        msg: MsgId,
+    },
+    /// A failure-detector sample (kernel substrate: one per step).
+    FdQuery {
+        /// When the detector was queried.
+        time: Time,
+        /// The querying process.
+        pid: ProcessId,
+    },
+    /// A protocol-level delivery.
+    Deliver {
+        /// When the delivery happened.
+        time: Time,
+        /// The delivering process.
+        pid: ProcessId,
+        /// The delivered message, when the substrate can name it (the
+        /// runtime always can; the generic kernel executor needs a
+        /// delivery extractor — see
+        /// [`KernelExecutor::with_delivery_msg`](crate::KernelExecutor::with_delivery_msg)).
+        msg: Option<MessageId>,
+    },
+    /// A process crashed.
+    Crash {
+        /// When the crash took effect.
+        time: Time,
+        /// The crashed process.
+        pid: ProcessId,
+    },
+    /// The clock advanced without a step (runtime substrate: guards can be
+    /// waiting on detector time alone).
+    Idle {
+        /// The new time.
+        time: Time,
+    },
+}
+
+/// A subscriber on the trace bus.
+pub trait Observer {
+    /// Called once per published event, in emission order.
+    fn on_event(&mut self, ev: &TraceEvent);
+}
+
+/// Shared-ownership subscription: attach an `Rc<RefCell<O>>` clone to an
+/// executor and keep the other clone to read the results afterwards.
+impl<O: Observer> Observer for Rc<RefCell<O>> {
+    fn on_event(&mut self, ev: &TraceEvent) {
+        self.borrow_mut().on_event(ev);
+    }
+}
+
+/// An observer that retains every event, in order.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Vec<TraceEvent>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// The events observed so far, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The delivery sequence of `p`, in delivery order (messages the
+    /// substrate could name).
+    pub fn delivered_by(&self, p: ProcessId) -> Vec<MessageId> {
+        self.events
+            .iter()
+            .filter_map(|ev| match ev {
+                TraceEvent::Deliver { pid, msg, .. } if *pid == p => *msg,
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl Observer for EventLog {
+    fn on_event(&mut self, ev: &TraceEvent) {
+        self.events.push(*ev);
+    }
+}
+
+/// An observer that only counts, per event kind.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Scheduled steps taken.
+    pub steps: u64,
+    /// Send operations.
+    pub sends: u64,
+    /// Non-null receipts.
+    pub receives: u64,
+    /// Failure-detector samples.
+    pub fd_queries: u64,
+    /// Protocol-level deliveries.
+    pub deliveries: u64,
+    /// Crashes.
+    pub crashes: u64,
+    /// Idle clock ticks.
+    pub idles: u64,
+}
+
+impl Observer for EventCounts {
+    fn on_event(&mut self, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::Step { .. } => self.steps += 1,
+            TraceEvent::Send { .. } => self.sends += 1,
+            TraceEvent::Receive { .. } => self.receives += 1,
+            TraceEvent::FdQuery { .. } => self.fd_queries += 1,
+            TraceEvent::Deliver { .. } => self.deliveries += 1,
+            TraceEvent::Crash { .. } => self.crashes += 1,
+            TraceEvent::Idle { .. } => self.idles += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_tally_by_kind() {
+        let mut c = EventCounts::default();
+        c.on_event(&TraceEvent::Step {
+            time: Time(1),
+            pid: ProcessId(0),
+            choice: 0,
+        });
+        c.on_event(&TraceEvent::Deliver {
+            time: Time(2),
+            pid: ProcessId(0),
+            msg: Some(MessageId(3)),
+        });
+        c.on_event(&TraceEvent::Idle { time: Time(3) });
+        assert_eq!((c.steps, c.deliveries, c.idles), (1, 1, 1));
+        assert_eq!(c.sends + c.receives + c.fd_queries + c.crashes, 0);
+    }
+
+    #[test]
+    fn log_extracts_delivery_sequences() {
+        let log = Rc::new(RefCell::new(EventLog::new()));
+        let mut sub = Rc::clone(&log);
+        sub.on_event(&TraceEvent::Deliver {
+            time: Time(1),
+            pid: ProcessId(1),
+            msg: Some(MessageId(0)),
+        });
+        sub.on_event(&TraceEvent::Deliver {
+            time: Time(2),
+            pid: ProcessId(1),
+            msg: Some(MessageId(1)),
+        });
+        assert_eq!(
+            log.borrow().delivered_by(ProcessId(1)),
+            vec![MessageId(0), MessageId(1)]
+        );
+        assert!(log.borrow().delivered_by(ProcessId(0)).is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! The [`Executor`] interface and the unified schedule drivers.
+//!
+//! The paper reasons about two very different machines — Algorithm 1 over
+//! linearizable shared objects (Level A, `gam_core::Runtime`) and automata
+//! over an asynchronous message-passing network (Level B,
+//! `gam_kernel::Simulator`) — but quantifies both over the same adversary:
+//! *which enabled move happens next*. [`Executor`] is that common shape.
+//! Everything downstream of the substrates (the explorer, replay, the bench
+//! bins, equivalence checks) is written once against it, and every
+//! [`ScheduleSource`] drives either substrate through the same
+//! [`run_with_source`] loop.
+//!
+//! The driver owns exactly one reusable options buffer, consults the source,
+//! and forwards the pick; substrate specifics (what a sub-choice means, when
+//! the clock may idle) live behind the trait.
+
+use crate::Observer;
+use gam_kernel::schedule::{ChoiceStep, RecordingSource, ReplaySource, RotatingSource};
+use gam_kernel::{ProcessId, RunOutcome, ScheduleSource};
+
+/// A steppable execution substrate: a state machine exposing its current
+/// choice space, accepting scheduling decisions, and reporting quiescence
+/// and an incremental run digest.
+///
+/// Implementations exist for both substrates ([`RuntimeExecutor`] and
+/// [`KernelExecutor`]); see the crate docs for how to add a new one.
+///
+/// [`RuntimeExecutor`]: crate::RuntimeExecutor
+/// [`KernelExecutor`]: crate::KernelExecutor
+pub trait Executor {
+    /// Writes the current choice space into `out`: each process eligible to
+    /// step, in ascending process order, paired with its positive option
+    /// arity. Sub-choice `0` is always the substrate's "default" option
+    /// (oldest message / least enabled action), the invariant the shrinker
+    /// and the fair tail rely on.
+    fn enabled_actions(&mut self, out: &mut Vec<(ProcessId, usize)>);
+
+    /// Executes one scheduling decision. Out-of-range sub-choices clamp to
+    /// the last option (replay tolerance); a decision for a process that
+    /// crashes at the very tick of its step is consumed without effect.
+    fn step(&mut self, action: ChoiceStep);
+
+    /// The incremental digest of the run so far: folds every step taken (and
+    /// every substrate-observable effect) in order, so two runs agree on
+    /// their digests iff they agree on their observable histories.
+    fn state_digest(&self) -> u64;
+
+    /// Returns `true` when the run is over: the choice space is empty and no
+    /// option can ever become enabled again (for substrates whose guards
+    /// wait on time, this includes "no obligations remain").
+    fn is_quiescent(&self) -> bool;
+
+    /// Advances the substrate clock without a step, for substrates whose
+    /// guards can become enabled by the passage of time alone. Returns
+    /// `false` if the substrate has no notion of idling (the message-passing
+    /// kernel: an empty choice space there is final).
+    fn idle_tick(&mut self) -> bool;
+
+    /// Subscribes `observer` to the substrate's trace bus (see
+    /// [`TraceEvent`](crate::TraceEvent)). Executors publish nothing until
+    /// the first observer is attached, keeping the hot loop allocation- and
+    /// branch-free in the common case.
+    fn attach(&mut self, observer: Box<dyn Observer>);
+}
+
+impl<E: Executor + ?Sized> Executor for &mut E {
+    fn enabled_actions(&mut self, out: &mut Vec<(ProcessId, usize)>) {
+        (**self).enabled_actions(out);
+    }
+    fn step(&mut self, action: ChoiceStep) {
+        (**self).step(action);
+    }
+    fn state_digest(&self) -> u64 {
+        (**self).state_digest()
+    }
+    fn is_quiescent(&self) -> bool {
+        (**self).is_quiescent()
+    }
+    fn idle_tick(&mut self) -> bool {
+        (**self).idle_tick()
+    }
+    fn attach(&mut self, observer: Box<dyn Observer>) {
+        (**self).attach(observer);
+    }
+}
+
+/// Runs `exec` with every scheduling decision delegated to `source`, until
+/// quiescence, budget exhaustion, or the source stopping. Idle ticks (on
+/// substrates that have them) count toward the budget, exactly as in the
+/// substrates' native loops.
+pub fn run_with_source<E, S>(exec: &mut E, source: &mut S, max_steps: u64) -> RunOutcome
+where
+    E: Executor + ?Sized,
+    S: ScheduleSource + ?Sized,
+{
+    let mut options: Vec<(ProcessId, usize)> = Vec::new();
+    let mut taken = 0u64;
+    loop {
+        if taken >= max_steps {
+            return RunOutcome::BudgetExhausted;
+        }
+        exec.enabled_actions(&mut options);
+        if options.is_empty() {
+            if exec.is_quiescent() || !exec.idle_tick() {
+                return RunOutcome::Quiescent;
+            }
+            taken += 1;
+            continue;
+        }
+        let Some((idx, choice)) = source.next_choice(&options) else {
+            return RunOutcome::Stopped;
+        };
+        exec.step(ChoiceStep {
+            pid: options[idx].0,
+            choice,
+        });
+        taken += 1;
+    }
+}
+
+/// Runs `exec` under the deterministic fair round-robin policy
+/// ([`RotatingSource`]) — the canonical "just run it" driver.
+pub fn run_fair<E: Executor + ?Sized>(exec: &mut E, max_steps: u64) -> RunOutcome {
+    run_with_source(exec, &mut RotatingSource::default(), max_steps)
+}
+
+/// Runs `exec` under `source`, recording every decision taken. Returns the
+/// outcome together with the recorded schedule, which [`replay`]s to the
+/// identical run.
+pub fn run_recorded<E, S>(exec: &mut E, source: S, max_steps: u64) -> (RunOutcome, Vec<ChoiceStep>)
+where
+    E: Executor + ?Sized,
+    S: ScheduleSource,
+{
+    let mut rec = RecordingSource::new(source);
+    let outcome = run_with_source(exec, &mut rec, max_steps);
+    (outcome, rec.into_log())
+}
+
+/// Replays a recorded `schedule` on `exec`, completing with the fair
+/// round-robin tail once the schedule is exhausted — so every replayed
+/// prefix extends to a *fair* run whose quiescence is meaningful.
+pub fn replay<E: Executor + ?Sized>(
+    exec: &mut E,
+    schedule: &[ChoiceStep],
+    max_steps: u64,
+) -> RunOutcome {
+    let mut source = PrefixTail::new(ReplaySource::new(schedule.to_vec()));
+    run_with_source(exec, &mut source, max_steps)
+}
+
+/// A source that plays a prefix and then falls back to the fair
+/// deterministic round-robin tail forever — the run-completion policy of
+/// the explorer: any enumerated or replayed prefix is extended to a *fair*
+/// run, so quiescence (and hence the spec checkers) is meaningful.
+#[derive(Debug)]
+pub struct PrefixTail<S> {
+    prefix: Option<S>,
+    tail: RotatingSource,
+}
+
+impl<S: ScheduleSource> PrefixTail<S> {
+    /// Plays `prefix` until it stops, then the round-robin tail.
+    pub fn new(prefix: S) -> Self {
+        PrefixTail {
+            prefix: Some(prefix),
+            tail: RotatingSource::default(),
+        }
+    }
+}
+
+impl<S: ScheduleSource> ScheduleSource for PrefixTail<S> {
+    fn next_choice(&mut self, options: &[(ProcessId, usize)]) -> Option<(usize, usize)> {
+        if let Some(prefix) = &mut self.prefix {
+            if let Some(pick) = prefix.next_choice(options) {
+                return Some(pick);
+            }
+            self.prefix = None;
+        }
+        self.tail.next_choice(options)
+    }
+}

@@ -1,0 +1,169 @@
+//! # gam-engine — one stepping interface over both execution substrates
+//!
+//! The reproduction executes the paper at two levels: **Level A**
+//! (`gam_core::Runtime`, Algorithm 1 over linearizable shared objects,
+//! where a scheduling choice fires an enabled guarded action) and **Level
+//! B** (`gam_kernel::Simulator`, automata over an asynchronous
+//! message-passing network, where a choice picks which pending message a
+//! process receives). Both claims are quantified over the same adversary —
+//! the schedule — and before this crate every consumer (explorer, replay,
+//! bench bins, spec plumbing) carried one driver loop per substrate.
+//!
+//! `gam-engine` is the seam that removes the duplication:
+//!
+//! - [`Executor`] — the substrate interface: `enabled_actions` /
+//!   `step` / `state_digest` / `is_quiescent` / `idle_tick`, implemented by
+//!   [`RuntimeExecutor`] (Level A) and [`KernelExecutor`] (Level B);
+//! - [`run_with_source`], [`run_fair`], [`run_recorded`], [`replay`] — the
+//!   *single* driver loop every [`ScheduleSource`] now flows through;
+//! - [`digest`] — the one shared, incremental run-hash implementation;
+//! - [`TraceEvent`] / [`Observer`] — the trace bus publishing steps,
+//!   message traffic, FD queries, deliveries, crashes and idle ticks in a
+//!   substrate-independent shape.
+//!
+//! ## Adding a new substrate
+//!
+//! Implement [`Executor`] for a wrapper over your machine: enumerate the
+//! eligible processes with positive option arity (ascending process order,
+//! sub-choice `0` = your deterministic default move), execute a
+//! [`ChoiceStep`], fold each step into a [`digest::Digest`], and define
+//! quiescence. Everything else — fair driving, random swarms, recorded
+//! replay, shrinking, bench harnesses — works unchanged.
+//!
+//! [`ScheduleSource`]: gam_kernel::ScheduleSource
+//! [`ChoiceStep`]: gam_kernel::schedule::ChoiceStep
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod digest;
+mod event;
+mod exec;
+mod kernel;
+mod runtime;
+
+pub use event::{EventCounts, EventLog, Observer, TraceEvent};
+pub use exec::{replay, run_fair, run_recorded, run_with_source, Executor, PrefixTail};
+pub use kernel::KernelExecutor;
+pub use runtime::RuntimeExecutor;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gam_core::distributed::{DistProcess, MuHistory};
+    use gam_core::{MessageId, Runtime, RuntimeConfig};
+
+    #[test]
+    fn runtime_executor_matches_native_loop() {
+        use gam_groups::{topology, GroupId};
+        use gam_kernel::{FailurePattern, ProcessId, RunOutcome};
+
+        let gs = topology::two_overlapping(3, 1);
+        let build = || {
+            let mut rt = Runtime::new(
+                &gs,
+                FailurePattern::all_correct(gs.universe()),
+                RuntimeConfig::default(),
+            );
+            rt.multicast(ProcessId(0), GroupId(0), 7);
+            rt.multicast(ProcessId(4), GroupId(1), 8);
+            rt
+        };
+        // Native source-driven loop and the engine driver must agree step
+        // for step: same outcome, same report.
+        let mut native = build();
+        let mut src = gam_kernel::schedule::RandomSource::new(5);
+        let out = native.run_with_source(gs.universe(), &mut src, 100_000);
+        assert_eq!(out, RunOutcome::Quiescent);
+
+        let mut exec = RuntimeExecutor::new(build());
+        let mut src = gam_kernel::schedule::RandomSource::new(5);
+        let out2 = run_with_source(&mut exec, &mut src, 100_000);
+        assert_eq!(out2, RunOutcome::Quiescent);
+        let (a, b) = (native.report(true), exec.report(true));
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.actions_of, b.actions_of);
+        assert_eq!(digest::trace_hash(&a), digest::trace_hash(&b));
+    }
+
+    #[test]
+    fn recorded_engine_run_replays_to_same_digest() {
+        use gam_groups::{topology, GroupId};
+        use gam_kernel::{FailurePattern, RunOutcome};
+
+        let gs = topology::ring(3, 2);
+        let build = || {
+            let mut rt = Runtime::new(
+                &gs,
+                FailurePattern::all_correct(gs.universe()),
+                RuntimeConfig::default(),
+            );
+            for g in 0..3u32 {
+                let src = gs.members(GroupId(g)).min().unwrap();
+                rt.multicast(src, GroupId(g), u64::from(g));
+            }
+            rt
+        };
+        let mut exec = RuntimeExecutor::new(build());
+        let (out, schedule) = run_recorded(
+            &mut exec,
+            gam_kernel::schedule::RandomSource::new(13),
+            200_000,
+        );
+        assert_eq!(out, RunOutcome::Quiescent);
+        assert!(!schedule.is_empty());
+
+        let mut again = RuntimeExecutor::new(build());
+        let out2 = replay(&mut again, &schedule, 200_000);
+        assert_eq!(out2, RunOutcome::Quiescent);
+        assert_eq!(again.state_digest(), exec.state_digest());
+    }
+
+    #[test]
+    fn observer_sees_deliveries_on_both_substrates() {
+        use gam_groups::{topology, GroupId};
+        use gam_kernel::{FailurePattern, ProcessId, RunOutcome};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let gs = topology::single_group(3);
+        // Level A
+        let mut rt = Runtime::new(
+            &gs,
+            FailurePattern::all_correct(gs.universe()),
+            RuntimeConfig::default(),
+        );
+        rt.multicast(ProcessId(0), GroupId(0), 1);
+        let mut exec = RuntimeExecutor::new(rt);
+        let log = Rc::new(RefCell::new(EventLog::new()));
+        exec.attach(Box::new(Rc::clone(&log)));
+        let counts = Rc::new(RefCell::new(EventCounts::default()));
+        exec.attach(Box::new(Rc::clone(&counts)));
+        assert_eq!(run_fair(&mut exec, 100_000), RunOutcome::Quiescent);
+        for p in gs.universe() {
+            assert_eq!(log.borrow().delivered_by(p), vec![MessageId(0)], "{p}");
+        }
+        assert_eq!(counts.borrow().deliveries, 3);
+        assert!(counts.borrow().steps > 0);
+
+        // Level B: same topology through the kernel executor.
+        let pattern = FailurePattern::all_correct(gs.universe());
+        let autos: Vec<DistProcess> = gs
+            .universe()
+            .iter()
+            .map(|p| DistProcess::new(p, &gs))
+            .collect();
+        let mu =
+            gam_detectors::MuOracle::new(&gs, pattern.clone(), gam_detectors::MuConfig::default());
+        let mut sim = gam_kernel::Simulator::new(autos, pattern, MuHistory::new(mu));
+        sim.automaton_mut(ProcessId(0))
+            .multicast(MessageId(0), GroupId(0));
+        let mut kexec = KernelExecutor::new(sim).with_delivery_msg(|e| Some(e.msg));
+        let klog = Rc::new(RefCell::new(EventLog::new()));
+        kexec.attach(Box::new(Rc::clone(&klog)));
+        assert_eq!(run_fair(&mut kexec, 2_000_000), RunOutcome::Quiescent);
+        for p in gs.universe() {
+            assert_eq!(klog.borrow().delivered_by(p), vec![MessageId(0)], "{p}");
+        }
+    }
+}

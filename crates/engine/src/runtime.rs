@@ -1,0 +1,139 @@
+//! [`Executor`] over the Level-A substrate: the Algorithm 1 shared-object
+//! [`Runtime`] of `gam-core`.
+//!
+//! A scheduling option of process `p` is one of its enabled guarded actions
+//! in the deterministic action order (so sub-choice `0` is the action the
+//! round-robin scheduler would fire). Unlike the kernel, the runtime's
+//! clock may *idle*: guards can become enabled purely by the passage of
+//! detector time, so an empty choice space with outstanding delivery
+//! obligations advances the clock instead of ending the run.
+
+use crate::digest::Digest;
+use crate::event::{Observer, TraceEvent};
+use crate::exec::Executor;
+use gam_core::{RunReport, Runtime};
+use gam_kernel::schedule::ChoiceStep;
+use gam_kernel::{ProcessId, ProcessSet};
+
+/// The Algorithm 1 runtime as an [`Executor`].
+pub struct RuntimeExecutor {
+    rt: Runtime,
+    set: ProcessSet,
+    digest: Digest,
+    observers: Vec<Box<dyn Observer>>,
+    crashed_seen: ProcessSet,
+}
+
+impl RuntimeExecutor {
+    /// Wraps `rt`, scheduling every process of its universe.
+    pub fn new(rt: Runtime) -> Self {
+        let set = rt.system().universe();
+        RuntimeExecutor::with_set(rt, set)
+    }
+
+    /// Wraps `rt`, scheduling **only** the processes of `set` (the
+    /// adversarial subset schedules group parallelism and genuineness
+    /// quantify over).
+    pub fn with_set(rt: Runtime, set: ProcessSet) -> Self {
+        RuntimeExecutor {
+            rt,
+            set,
+            digest: Digest::new(),
+            observers: Vec::new(),
+            crashed_seen: ProcessSet::EMPTY,
+        }
+    }
+
+    /// Read access to the wrapped runtime.
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    /// Mutable access to the wrapped runtime (e.g. to submit multicasts
+    /// between runs).
+    pub fn runtime_mut(&mut self) -> &mut Runtime {
+        &mut self.rt
+    }
+
+    /// Consumes the executor, returning the runtime.
+    pub fn into_runtime(self) -> Runtime {
+        self.rt
+    }
+
+    /// The report of the run so far (see [`Runtime::report`]).
+    pub fn report(&self, quiescent: bool) -> RunReport {
+        self.rt.report(quiescent)
+    }
+
+    fn publish(&mut self, ev: &TraceEvent) {
+        for obs in &mut self.observers {
+            obs.on_event(ev);
+        }
+    }
+
+    fn publish_crashes(&mut self) {
+        let now = self.rt.now();
+        let crashed = self.rt.pattern().faulty_at(now);
+        for p in crashed - self.crashed_seen {
+            self.crashed_seen.insert(p);
+            self.publish(&TraceEvent::Crash { time: now, pid: p });
+        }
+    }
+}
+
+impl Executor for RuntimeExecutor {
+    fn enabled_actions(&mut self, out: &mut Vec<(ProcessId, usize)>) {
+        self.rt.options_into(self.set, out);
+    }
+
+    fn step(&mut self, action: ChoiceStep) {
+        let fired = self.rt.fire_enabled(action.pid, action.choice);
+        let now = self.rt.now();
+        self.digest.push(now.0);
+        self.digest.push(u64::from(action.pid.0));
+        self.digest
+            .push(fired.delivered.map_or(u64::from(fired.fired), |m| m.0 + 2));
+        if self.observers.is_empty() {
+            return;
+        }
+        self.publish(&TraceEvent::Step {
+            time: now,
+            pid: action.pid,
+            choice: action.choice,
+        });
+        self.publish_crashes();
+        if let Some(msg) = fired.delivered {
+            self.publish(&TraceEvent::Deliver {
+                time: now,
+                pid: action.pid,
+                msg: Some(msg),
+            });
+        }
+    }
+
+    fn state_digest(&self) -> u64 {
+        self.digest.value()
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.rt.is_quiescent_in(self.set)
+    }
+
+    fn idle_tick(&mut self) -> bool {
+        self.rt.idle_tick();
+        let now = self.rt.now();
+        // Sentinel keeps the word stream prefix-free: a step folds
+        // (time, pid, effect), an idle folds (MAX, time).
+        self.digest.push(u64::MAX);
+        self.digest.push(now.0);
+        if !self.observers.is_empty() {
+            self.publish(&TraceEvent::Idle { time: now });
+            self.publish_crashes();
+        }
+        true
+    }
+
+    fn attach(&mut self, observer: Box<dyn Observer>) {
+        self.observers.push(observer);
+    }
+}

@@ -4,23 +4,26 @@
 //! The runtime-level explorer checks Algorithm 1 over linearizable shared
 //! objects; this module aims the same [`ScheduleSource`] machinery at the
 //! other end of the stack: `gam_core::distributed::DistProcess` automata
-//! under the kernel [`Simulator`], where every scheduling choice is *which
-//! pending network message a process receives next*. Runs are recorded,
-//! replayable and hashed, and terminal states are checked for delivery and
-//! pairwise agreement.
+//! under the kernel [`Simulator`], where every
+//! scheduling choice is *which pending network message a process receives
+//! next*. Both ends now go through the same [`gam_engine::Executor`]
+//! stepping layer: this module only builds the Level-B executor for a
+//! [`Scenario`] and interprets its terminal state with the shared
+//! `gam_core::spec` checkers.
 //!
 //! [`ScheduleSource`]: gam_kernel::schedule::ScheduleSource
 
-use crate::hash::fnv1a;
-use crate::PrefixTail;
-use gam_core::distributed::{DistProcess, MuHistory};
-use gam_core::MessageId;
+use crate::{PrefixTail, Scenario};
+use gam_core::distributed::{run_report, DistProcess, MuHistory};
+use gam_core::spec::{check_all, check_integrity, check_pairwise_agreement};
+use gam_core::Variant;
 use gam_detectors::{MuConfig, MuOracle};
 use gam_groups::GroupSystem;
-use gam_kernel::schedule::{
-    ChoiceStep, RandomSource, RecordingSource, ReplaySource, ScheduleSource,
-};
-use gam_kernel::{FailurePattern, RunOutcome, Simulator};
+use gam_kernel::schedule::{ChoiceStep, RandomSource, ReplaySource, ScheduleSource};
+use gam_kernel::{RunOutcome, Simulator};
+
+use gam_engine::digest::Digest;
+use gam_engine::{Executor, KernelExecutor};
 
 /// The outcome of one kernel-level run.
 #[derive(Debug, Clone)]
@@ -29,114 +32,87 @@ pub struct KernelRun {
     pub outcome: RunOutcome,
     /// The recorded schedule (replay with [`replay_run`]).
     pub schedule: Vec<ChoiceStep>,
-    /// Digest of the full run: schedule steps + per-process deliveries.
+    /// Digest of the full run: the executor's incremental step digest
+    /// extended with the outcome and per-process delivery sequences.
     pub hash: u64,
-    /// The first delivery/agreement violation found, if any.
+    /// The first spec violation found, if any.
     pub violation: Option<String>,
 }
 
-fn build(system: &GroupSystem) -> Simulator<DistProcess, MuHistory> {
-    let pattern = FailurePattern::all_correct(system.universe());
-    let autos = system
-        .universe()
-        .iter()
-        .map(|p| DistProcess::new(p, system))
-        .collect();
-    let mu = MuOracle::new(system, pattern.clone(), MuConfig::default());
-    let mut sim = Simulator::new(autos, pattern, MuHistory::new(mu)).with_schedule_recording();
-    for (i, (g, members)) in system.iter().enumerate() {
-        let src = members.min().expect("non-empty group");
-        sim.automaton_mut(src).multicast(MessageId(i as u64), g);
+impl Scenario {
+    /// The Level-B (message passing) executor of the scenario: one
+    /// [`DistProcess`] per process under the kernel simulator with a `μ`
+    /// history, submissions multicast from their sources. Kernel-level
+    /// messages carry no user payload, so submission payloads are dropped.
+    pub fn kernel_executor(&self) -> KernelExecutor<DistProcess, MuHistory> {
+        let pattern = self.pattern();
+        let autos = self
+            .system
+            .universe()
+            .iter()
+            .map(|p| DistProcess::new(p, &self.system))
+            .collect();
+        let mu = MuOracle::new(&self.system, pattern.clone(), MuConfig::default());
+        let mut sim = Simulator::new(autos, pattern, MuHistory::new(mu));
+        for (i, (src, g, _payload)) in self.submissions.iter().enumerate() {
+            sim.automaton_mut(*src)
+                .multicast(gam_core::MessageId(i as u64), *g);
+        }
+        KernelExecutor::new(sim).with_delivery_msg(|e| Some(e.msg))
     }
-    sim
 }
 
-fn digest(sim: &Simulator<DistProcess, MuHistory>, outcome: RunOutcome) -> u64 {
-    let mut words = vec![u64::from(outcome == RunOutcome::Quiescent)];
-    for step in sim.trace().steps() {
-        words.push(step.time.0);
-        words.push(u64::from(step.pid.0));
-        words.push(step.received.map_or(0, |m| m.0 + 1));
-    }
-    for p in sim.universe() {
-        words.push(u64::from(p.0));
-        for m in sim.automaton(p).delivered() {
-            words.push(m.0 + 1);
+fn run_with<S: ScheduleSource>(scenario: &Scenario, source: S) -> KernelRun {
+    let mut exec = scenario.kernel_executor();
+    let (outcome, schedule) = gam_engine::run_recorded(&mut exec, source, scenario.max_steps);
+    let quiescent = outcome == RunOutcome::Quiescent;
+    let report = run_report(
+        exec.sim(),
+        &scenario.system,
+        &scenario.submissions,
+        quiescent,
+    );
+    // Extend the incremental step digest with the end-of-run summary.
+    let mut digest = Digest::resume(exec.state_digest());
+    digest.push(u64::from(quiescent));
+    for p in scenario.system.universe() {
+        digest.push(u64::from(p.0));
+        for m in exec.sim().automaton(p).delivered() {
+            digest.push(m.0 + 1);
         }
     }
-    fnv1a(words)
-}
-
-fn check(
-    sim: &Simulator<DistProcess, MuHistory>,
-    system: &GroupSystem,
-    outcome: RunOutcome,
-) -> Option<String> {
-    // Agreement on shared deliveries, quiescent or not.
-    for p in system.universe() {
-        for q in system.universe() {
-            let (dp, dq) = (sim.automaton(p).delivered(), sim.automaton(q).delivered());
-            for (i, m1) in dp.iter().enumerate() {
-                for m2 in &dp[i + 1..] {
-                    if let (Some(j1), Some(j2)) = (
-                        dq.iter().position(|x| x == m1),
-                        dq.iter().position(|x| x == m2),
-                    ) {
-                        if j1 >= j2 {
-                            return Some(format!("{p} and {q} disagree on {m1}/{m2}"));
-                        }
-                    }
-                }
-            }
-        }
-    }
-    // On quiescence, every group member must hold its group's message.
-    if outcome == RunOutcome::Quiescent {
-        for (i, (_, members)) in system.iter().enumerate() {
-            let m = MessageId(i as u64);
-            for p in members {
-                if !sim.automaton(p).delivered().contains(&m) {
-                    return Some(format!("quiescent but {p} missing {m}"));
-                }
-            }
-        }
-    }
-    None
-}
-
-fn run_with<S: ScheduleSource>(
-    system: &GroupSystem,
-    mut source: RecordingSource<S>,
-    max_steps: u64,
-) -> KernelRun {
-    let mut sim = build(system);
-    let outcome = sim.run_with_source(system.universe(), &mut source, max_steps);
+    // Quiescent runs face the full spec; budget-cut and stopped runs only
+    // the checks that are sound on partial runs.
+    let violation = if quiescent {
+        check_all(&report, Variant::Standard).err()
+    } else {
+        check_integrity(&report)
+            .and_then(|()| check_pairwise_agreement(&report))
+            .err()
+    };
     KernelRun {
         outcome,
-        schedule: source.into_log(),
-        hash: digest(&sim, outcome),
-        violation: check(&sim, system, outcome),
+        schedule,
+        hash: digest.value(),
+        violation: violation.map(|v| v.to_string()),
     }
 }
 
 /// One failure-free swarm run: one message per group, every receive choice
 /// uniformly random under `seed`.
 pub fn swarm_run(system: &GroupSystem, seed: u64, max_steps: u64) -> KernelRun {
-    run_with(
-        system,
-        RecordingSource::new(RandomSource::new(seed)),
-        max_steps,
-    )
+    let scenario = Scenario::one_per_group(system, max_steps);
+    run_with(&scenario, RandomSource::new(seed))
 }
 
 /// Replays a recorded kernel schedule (completing with the fair round-robin
 /// tail if the schedule ends early). A faithful replay reproduces the
 /// original [`KernelRun::hash`] exactly.
 pub fn replay_run(system: &GroupSystem, schedule: &[ChoiceStep], max_steps: u64) -> KernelRun {
+    let scenario = Scenario::one_per_group(system, max_steps);
     run_with(
-        system,
-        RecordingSource::new(PrefixTail::new(ReplaySource::new(schedule.to_vec()))),
-        max_steps,
+        &scenario,
+        PrefixTail::new(ReplaySource::new(schedule.to_vec())),
     )
 }
 
@@ -166,5 +142,15 @@ mod tests {
         assert_eq!(replayed.hash, original.hash, "byte-identical replay");
         assert_eq!(replayed.outcome, original.outcome);
         assert_eq!(replayed.violation, None);
+    }
+
+    #[test]
+    fn budget_cut_runs_pass_the_partial_checks() {
+        // A tiny budget cuts the run mid-protocol; the partial-run checks
+        // must not flag the valid prefix.
+        let gs = topology::ring(3, 2);
+        let cut = swarm_run(&gs, 3, 25);
+        assert_eq!(cut.outcome, RunOutcome::BudgetExhausted);
+        assert_eq!(cut.violation, None, "{:?}", cut.violation);
     }
 }

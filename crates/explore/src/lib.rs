@@ -19,26 +19,29 @@
 //!
 //! The same [`ScheduleSource`] machinery also drives the message-passing
 //! Level-B deployment (`gam_core::distributed`) through the kernel
-//! simulator — see [`kernel`].
+//! simulator — see [`kernel`]. Both substrates run through the *same*
+//! [`gam_engine::Executor`] stepping layer; this crate only decides what
+//! to run and what to check.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod explorer;
-mod hash;
 pub mod kernel;
 mod repro;
 mod shrink;
 
 pub use explorer::{explore_exhaustive, explore_swarm, Counterexample, ExploreStats};
-pub use hash::{fnv1a, trace_hash};
+pub use gam_engine::digest::{self, fnv1a, trace_hash};
+pub use gam_engine::PrefixTail;
 pub use repro::Repro;
 pub use shrink::shrink;
 
 use gam_core::spec::{check_all, SpecViolation};
 use gam_core::{MessageId, RunReport, Runtime, RuntimeConfig, Variant};
+use gam_engine::RuntimeExecutor;
 use gam_groups::{GroupId, GroupSystem};
-use gam_kernel::schedule::{RotatingSource, ScheduleSource};
+use gam_kernel::schedule::ScheduleSource;
 use gam_kernel::{FailurePattern, ProcessId, RunOutcome, Time};
 
 /// A closed, runnable test case: everything about a run except its
@@ -79,10 +82,10 @@ impl Scenario {
         FailurePattern::from_crashes(self.system.universe(), self.crashes.iter().copied())
     }
 
-    /// Runs the scenario once, with every scheduling decision taken by
-    /// `source`. The report is quiescent iff the run quiesced within
-    /// [`Scenario::max_steps`].
-    pub fn run<S: ScheduleSource>(&self, source: &mut S) -> RunReport {
+    /// The Level-A (shared objects) executor of the scenario: Algorithm 1
+    /// runtime built, submissions applied, ready to drive through any
+    /// `gam_engine` driver.
+    pub fn runtime_executor(&self) -> RuntimeExecutor {
         let mut rt = Runtime::new(
             &self.system,
             self.pattern(),
@@ -94,8 +97,16 @@ impl Scenario {
         for (src, g, payload) in &self.submissions {
             rt.multicast(*src, *g, *payload);
         }
-        let out = rt.run_with_source(self.system.universe(), source, self.max_steps);
-        rt.report(out == RunOutcome::Quiescent)
+        RuntimeExecutor::new(rt)
+    }
+
+    /// Runs the scenario once, with every scheduling decision taken by
+    /// `source`. The report is quiescent iff the run quiesced within
+    /// [`Scenario::max_steps`].
+    pub fn run<S: ScheduleSource>(&self, source: &mut S) -> RunReport {
+        let mut exec = self.runtime_executor();
+        let out = gam_engine::run_with_source(&mut exec, source, self.max_steps);
+        exec.report(out == RunOutcome::Quiescent)
     }
 
     /// Runs the scenario and checks it, returning the first violation.
@@ -115,37 +126,5 @@ impl Scenario {
     /// The submitted messages, by id (submission order).
     pub fn message_ids(&self) -> Vec<MessageId> {
         (0..self.submissions.len() as u64).map(MessageId).collect()
-    }
-}
-
-/// A source that plays a prefix and then falls back to the fair
-/// deterministic round-robin tail forever — the run-completion policy of
-/// the explorer: any enumerated or replayed prefix is extended to a *fair*
-/// run, so quiescence (and hence `check_all`) is meaningful.
-#[derive(Debug)]
-pub struct PrefixTail<S> {
-    prefix: Option<S>,
-    tail: RotatingSource,
-}
-
-impl<S: ScheduleSource> PrefixTail<S> {
-    /// Plays `prefix` until it stops, then the round-robin tail.
-    pub fn new(prefix: S) -> Self {
-        PrefixTail {
-            prefix: Some(prefix),
-            tail: RotatingSource::default(),
-        }
-    }
-}
-
-impl<S: ScheduleSource> ScheduleSource for PrefixTail<S> {
-    fn next_choice(&mut self, options: &[(ProcessId, usize)]) -> Option<(usize, usize)> {
-        if let Some(prefix) = &mut self.prefix {
-            if let Some(pick) = prefix.next_choice(options) {
-                return Some(pick);
-            }
-            self.prefix = None;
-        }
-        self.tail.next_choice(options)
     }
 }

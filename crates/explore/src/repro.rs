@@ -24,7 +24,7 @@
 //! run); `schedule` lines (there may be several) hold `pid:choice` pairs
 //! and concatenate in order.
 
-use crate::hash::trace_hash;
+use crate::trace_hash;
 use crate::{PrefixTail, Scenario};
 use gam_core::spec::check_all;
 use gam_core::{RunReport, Variant};

@@ -325,14 +325,30 @@ impl<A: Automaton, H: History<Value = A::Fd>> Simulator<A, H> {
     /// `k` pending messages offers choices `0..k` (receive the `c`-th
     /// oldest) plus, when it is active, choice `k` (the null message).
     pub fn options_in(&self, set: ProcessSet) -> Vec<(ProcessId, usize)> {
-        set.iter()
-            .filter(|p| self.eligible(*p))
-            .map(|p| {
+        let mut out = Vec::new();
+        self.options_into(set, &mut out);
+        out
+    }
+
+    /// [`Simulator::options_in`], writing into a caller-provided buffer —
+    /// the allocation-free form the hot step loop of `gam-engine` uses.
+    pub fn options_into(&self, set: ProcessSet, out: &mut Vec<(ProcessId, usize)>) {
+        out.clear();
+        for p in set {
+            if self.eligible(p) {
                 let pending = self.buffer.pending(p);
                 let null = usize::from(self.automata[p.index()].is_active());
-                (p, pending + null)
-            })
-            .collect()
+                out.push((p, pending + null));
+            }
+        }
+    }
+
+    /// Returns `true` if no process of `set` is eligible to step: nothing is
+    /// pending for any live process of `set` and none is active. For the
+    /// message-passing substrate an empty choice space *is* quiescence — no
+    /// step will ever become enabled again without outside intervention.
+    pub fn is_quiescent_in(&self, set: ProcessSet) -> bool {
+        set.iter().all(|p| !self.eligible(p))
     }
 
     /// The current choice space over the full universe

@@ -18,6 +18,7 @@
 //! | [`detectors`] | Σ, Ω, γ, 1^P, 𝒫 oracles; μ; class validators |
 //! | [`objects`] | logs, consensus, adopt–commit; ABD registers; Paxos |
 //! | [`core`] | Algorithm 1, variations, baselines, property checkers |
+//! | [`engine`] | one [`Executor`](engine::Executor) stepping layer over both substrates: drivers, trace bus, run digests |
 //! | [`emulation`] | Algorithms 2–5: extracting μ's constituents |
 //! | [`explore`] | schedule-space explorer, shrinking counterexamples, repros |
 //!
@@ -47,6 +48,7 @@
 pub use gam_core as core;
 pub use gam_detectors as detectors;
 pub use gam_emulation as emulation;
+pub use gam_engine as engine;
 pub use gam_explore as explore;
 pub use gam_groups as groups;
 pub use gam_kernel as kernel;
@@ -63,6 +65,9 @@ pub mod prelude {
     pub use gam_detectors::{
         GammaOracle, IndicatorOracle, MuConfig, MuOracle, OmegaOracle, PerfectOracle, SigmaOracle,
     };
+    // note: `gam_engine::TraceEvent` stays out of the prelude — `gam_kernel`
+    // exports a generic `TraceEvent<E>` of its own; qualify to disambiguate.
+    pub use gam_engine::{run_fair, run_with_source, Executor, KernelExecutor, RuntimeExecutor};
     pub use gam_explore::{explore_exhaustive, explore_swarm, Repro, Scenario};
     pub use gam_groups::{topology, GroupId, GroupSet, GroupSystem};
     pub use gam_kernel::{

@@ -199,7 +199,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng as _;
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
