@@ -3,54 +3,107 @@
 //! stack (Algorithm 1 over shared objects, and the message-passing
 //! deployment under the kernel simulator).
 //!
-//! Run with: `cargo run -p gam-bench --bin explore [-- quick]`
+//! The exhaustive pass runs twice — the sequential reference loop and the
+//! parallel dedup-pruned engine — and asserts they agree on coverage, so
+//! the emitted record compares both paths like for like.
+//!
+//! Run with: `cargo run -p gam-bench --bin explore [-- quick]
+//!            [--threads N] [--shrink-budget N]`
 //! Output:   stdout summary + `target/experiments/explore.json`
 
 use gam_bench::json::{write_experiment, Json};
 use gam_explore::kernel::{replay_run, swarm_run};
-use gam_explore::{explore_exhaustive, explore_swarm, Scenario};
+use gam_explore::{
+    explore_exhaustive, explore_exhaustive_par, explore_swarm_par, ExploreConfig, ExploreStats,
+    Scenario, DEFAULT_SHRINK_BUDGET,
+};
 use gam_groups::topology;
 
+fn flag_value(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn stats_row(mode: &str, topology: &str, stats: &ExploreStats, threads: usize) -> Json {
+    Json::obj([
+        ("mode", Json::from(mode)),
+        ("topology", Json::from(topology)),
+        ("runs", Json::from(stats.runs)),
+        ("complete", Json::from(stats.complete())),
+        ("violations", Json::from(stats.violations.len())),
+        ("threads", Json::from(threads as u64)),
+        ("dedup_hits", Json::from(stats.dedup_hits)),
+        (
+            "dedup_hit_permille",
+            Json::from((stats.dedup_hit_rate() * 1000.0).round() as u64),
+        ),
+        (
+            "worker_runs",
+            Json::Arr(stats.worker_runs.iter().map(|r| Json::from(*r)).collect()),
+        ),
+    ])
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let config = ExploreConfig {
+        threads: flag_value(&args, "--threads").unwrap_or(0) as usize,
+        shrink_budget: flag_value(&args, "--shrink-budget").unwrap_or(DEFAULT_SHRINK_BUDGET),
+        ..ExploreConfig::default()
+    };
+    let threads = config.resolved_threads();
     // fig1 branches ~10 ways per level, so these depths exhaust the tree
     // well within the run caps (and within a CI smoke budget).
     let (depth, seeds, kernel_seeds) = if quick { (3, 16, 4) } else { (4, 64, 16) };
+    let run_cap = if quick { 2_000 } else { 20_000 };
 
     let mut rows = Vec::new();
     let mut total_runs = 0u64;
     let mut total_violations = 0usize;
 
     // ---- Exhaustive enumeration over the first choices of fig1 ----------
-    println!("exhaustive: fig1, first {depth} choices");
+    println!("exhaustive: fig1, first {depth} choices ({threads} threads)");
     let scenario = Scenario::one_per_group(&topology::fig1(), 200_000);
-    let stats = explore_exhaustive(&scenario, depth, if quick { 2_000 } else { 20_000 });
+    let seq = explore_exhaustive(&scenario, depth, run_cap, config.shrink_budget);
+    let par = explore_exhaustive_par(&scenario, depth, run_cap, &config);
     println!(
-        "  {} runs, complete: {}, violations: {}",
-        stats.runs,
-        stats.complete,
-        stats.violations.len()
+        "  sequential: {} runs, complete: {}, violations: {}",
+        seq.runs,
+        seq.complete(),
+        seq.violations.len()
     );
+    println!(
+        "  parallel:   {} runs, dedup hits: {} ({:.1}%), violations: {}",
+        par.runs,
+        par.dedup_hits,
+        100.0 * par.dedup_hit_rate(),
+        par.violations.len()
+    );
+    for cx in seq.violations.iter().chain(&par.violations) {
+        println!("  !! {}: {}", cx.violation.property, cx.violation.detail);
+        println!("{}", cx.repro.to_text());
+    }
     assert!(
-        stats.violations.is_empty(),
-        "exhaustive pass over fig1 found a violation: {:?}",
-        stats.violations
+        seq.violations.is_empty() && par.violations.is_empty(),
+        "exhaustive pass over fig1 found a violation"
     );
-    assert!(stats.complete, "exhaustive pass hit its run cap");
-    total_runs += stats.runs;
-    rows.push(Json::obj([
-        ("mode", Json::from("exhaustive")),
-        ("topology", Json::from("fig1")),
-        ("depth", Json::from(depth)),
-        ("runs", Json::from(stats.runs)),
-        ("complete", Json::from(stats.complete)),
-        ("violations", Json::from(stats.violations.len())),
-    ]));
+    assert!(seq.complete(), "sequential exhaustive pass hit its run cap");
+    assert!(par.complete(), "parallel exhaustive pass hit its run cap");
+    assert_eq!(
+        seq.runs, par.runs,
+        "parallel enumeration covered a different number of prefixes"
+    );
+    total_runs += seq.runs + par.runs;
+    rows.push(stats_row("exhaustive", "fig1", &seq, 1));
+    rows.push(stats_row("exhaustive-par", "fig1", &par, threads));
 
     // ---- Random swarm over the whole suite -------------------------------
     for (name, gs) in topology::suite() {
         let scenario = Scenario::one_per_group(&gs, 500_000);
-        let stats = explore_swarm(&scenario, 0..seeds);
+        let stats = explore_swarm_par(&scenario, 0..seeds, &config);
         println!(
             "swarm: {name:<24} {} seeds, violations: {}",
             stats.runs,
@@ -62,13 +115,7 @@ fn main() {
             println!("  !! {}: {}", cx.violation.property, cx.violation.detail);
             println!("{}", cx.repro.to_text());
         }
-        rows.push(Json::obj([
-            ("mode", Json::from("swarm")),
-            ("topology", Json::from(name)),
-            ("seeds", Json::from(stats.runs)),
-            ("complete", Json::from(stats.complete)),
-            ("violations", Json::from(stats.violations.len())),
-        ]));
+        rows.push(stats_row("swarm", name, &stats, threads));
     }
 
     // ---- Kernel-level (message passing) swarm with replay check ----------
@@ -104,6 +151,8 @@ fn main() {
 
     let record = Json::obj([
         ("quick", Json::from(quick)),
+        ("threads", Json::from(threads as u64)),
+        ("shrink_budget", Json::from(config.shrink_budget)),
         ("total_runs", Json::from(total_runs)),
         ("total_violations", Json::from(total_violations)),
         ("passes", Json::Arr(rows)),

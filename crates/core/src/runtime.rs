@@ -692,6 +692,96 @@ impl Runtime {
         }
     }
 
+    /// Walks every piece of evolving runtime state as a deterministic `u64`
+    /// word stream: the clock, every shared object (logs, consensus,
+    /// lists), every per-process table (phases, deliveries, action counts).
+    /// Two runtimes over the same scenario emitting the same stream behave
+    /// identically under any deterministic continuation — the detector
+    /// oracles are pure functions of the (fixed) pattern and the clock, so
+    /// nothing behavioral lives outside this walk. Hash-map entries are
+    /// visited in sorted key order, making the stream independent of
+    /// insertion history; each variable-length section is length-prefixed so
+    /// the stream is prefix-free.
+    ///
+    /// The engine folds this stream into the executor's state fingerprint,
+    /// which the explorer's visited-set dedup prunes on.
+    pub fn fold_state(&self, push: &mut impl FnMut(u64)) {
+        push(self.now.0);
+        // Shared logs, by sorted (g, h) key.
+        let mut log_keys: Vec<&(GroupId, GroupId)> = self.logs.keys().collect();
+        log_keys.sort();
+        push(log_keys.len() as u64);
+        for key in log_keys {
+            let (g, h) = *key;
+            push(u64::from(g.0));
+            push(u64::from(h.0));
+            let log = &self.logs[key];
+            push(log.len() as u64);
+            for (d, pos, locked) in log.entries() {
+                match d {
+                    Datum::Msg(m) => {
+                        push(0);
+                        push(m.0);
+                    }
+                    Datum::PosAnn(m, h, i) => {
+                        push(1);
+                        push(m.0);
+                        push(u64::from(h.0));
+                        push(*i);
+                    }
+                    Datum::StabAnn(m, h) => {
+                        push(2);
+                        push(m.0);
+                        push(u64::from(h.0));
+                    }
+                }
+                push(pos.0);
+                push(u64::from(locked));
+            }
+        }
+        // Consensus objects, by sorted (m, 𝔣) key. The decision is the
+        // behavioral state; the proposal counter is bookkeeping.
+        let mut cons_keys: Vec<&(MessageId, GroupSet)> = self.cons.keys().collect();
+        cons_keys.sort();
+        push(cons_keys.len() as u64);
+        for key in cons_keys {
+            let (m, fam) = *key;
+            push(m.0);
+            push(fam.0);
+            push(self.cons[key].decision().map_or(0, |v| v + 1));
+        }
+        // Group submission lists (append-only; constant within a run but
+        // part of the machine nonetheless).
+        push(self.lists.len() as u64);
+        for list in &self.lists {
+            push(list.len() as u64);
+            for m in list {
+                push(m.0);
+            }
+        }
+        // Per-process protocol state.
+        push(self.phase.len() as u64);
+        for table in &self.phase {
+            let mut ms: Vec<&MessageId> = table.keys().collect();
+            ms.sort();
+            push(ms.len() as u64);
+            for m in ms {
+                push(m.0);
+                push(table[m] as u64);
+            }
+        }
+        for seq in &self.delivered {
+            push(seq.len() as u64);
+            for d in seq {
+                push(d.msg.0);
+                push(d.at.0);
+            }
+        }
+        for n in &self.actions_of {
+            push(*n);
+        }
+    }
+
     /// Convenience: run to quiescence (panicking if the budget is exhausted)
     /// and report.
     ///

@@ -12,8 +12,7 @@
 
 use gam_core::MessageId;
 use gam_kernel::{MsgId, ProcessId, Time};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// One observable happening of a run, published to [`Observer`]s.
 ///
@@ -90,11 +89,15 @@ pub trait Observer {
     fn on_event(&mut self, ev: &TraceEvent);
 }
 
-/// Shared-ownership subscription: attach an `Rc<RefCell<O>>` clone to an
-/// executor and keep the other clone to read the results afterwards.
-impl<O: Observer> Observer for Rc<RefCell<O>> {
+/// Shared-ownership subscription: attach an `Arc<Mutex<O>>` clone to an
+/// executor and keep the other clone to read the results afterwards. The
+/// `Arc`/`Mutex` pairing (rather than `Rc`/`RefCell`) keeps the
+/// subscription `Send`, so an observed executor can move to a worker
+/// thread; the lock is uncontended in the single-executor case, and
+/// executors publish nothing at all when no observer is attached.
+impl<O: Observer> Observer for Arc<Mutex<O>> {
     fn on_event(&mut self, ev: &TraceEvent) {
-        self.borrow_mut().on_event(ev);
+        self.lock().expect("observer lock").on_event(ev);
     }
 }
 
@@ -191,8 +194,8 @@ mod tests {
 
     #[test]
     fn log_extracts_delivery_sequences() {
-        let log = Rc::new(RefCell::new(EventLog::new()));
-        let mut sub = Rc::clone(&log);
+        let log = Arc::new(Mutex::new(EventLog::new()));
+        let mut sub = Arc::clone(&log);
         sub.on_event(&TraceEvent::Deliver {
             time: Time(1),
             pid: ProcessId(1),
@@ -204,9 +207,9 @@ mod tests {
             msg: Some(MessageId(1)),
         });
         assert_eq!(
-            log.borrow().delivered_by(ProcessId(1)),
+            log.lock().unwrap().delivered_by(ProcessId(1)),
             vec![MessageId(0), MessageId(1)]
         );
-        assert!(log.borrow().delivered_by(ProcessId(0)).is_empty());
+        assert!(log.lock().unwrap().delivered_by(ProcessId(0)).is_empty());
     }
 }

@@ -25,6 +25,11 @@ use gam_kernel::{ProcessId, RunOutcome, ScheduleSource};
 /// Implementations exist for both substrates ([`RuntimeExecutor`] and
 /// [`KernelExecutor`]); see the crate docs for how to add a new one.
 ///
+/// Executors over owned substrate state are `Send` (asserted at compile
+/// time for both built-in substrates), so parallel explorers can build and
+/// drive one executor per worker thread. Observers cross the same boundary,
+/// hence the `Send` bound on [`Executor::attach`].
+///
 /// [`RuntimeExecutor`]: crate::RuntimeExecutor
 /// [`KernelExecutor`]: crate::KernelExecutor
 pub trait Executor {
@@ -45,6 +50,23 @@ pub trait Executor {
     /// their digests iff they agree on their observable histories.
     fn state_digest(&self) -> u64;
 
+    /// A digest of the substrate's **current state** (as opposed to
+    /// [`Executor::state_digest`], which hashes the *history* that led
+    /// there): two executors with equal fingerprints behave identically
+    /// under any deterministic continuation, even when they got to that
+    /// state along different schedules. This is the key the explorer's
+    /// visited-set dedup prunes on — converging prefixes (e.g. two
+    /// interleavings of independent actions) collide here but never on the
+    /// history digest.
+    ///
+    /// The default falls back to the history digest, which is always sound
+    /// (equal histories ⇒ equal states) but never detects convergence;
+    /// substrates that want dedup to bite override it with a real state
+    /// walk.
+    fn state_fingerprint(&self) -> u64 {
+        self.state_digest()
+    }
+
     /// Returns `true` when the run is over: the choice space is empty and no
     /// option can ever become enabled again (for substrates whose guards
     /// wait on time, this includes "no obligations remain").
@@ -59,8 +81,9 @@ pub trait Executor {
     /// Subscribes `observer` to the substrate's trace bus (see
     /// [`TraceEvent`](crate::TraceEvent)). Executors publish nothing until
     /// the first observer is attached, keeping the hot loop allocation- and
-    /// branch-free in the common case.
-    fn attach(&mut self, observer: Box<dyn Observer>);
+    /// branch-free in the common case. Observers are `Send` so an observed
+    /// executor can still move to a worker thread.
+    fn attach(&mut self, observer: Box<dyn Observer + Send>);
 }
 
 impl<E: Executor + ?Sized> Executor for &mut E {
@@ -73,13 +96,16 @@ impl<E: Executor + ?Sized> Executor for &mut E {
     fn state_digest(&self) -> u64 {
         (**self).state_digest()
     }
+    fn state_fingerprint(&self) -> u64 {
+        (**self).state_fingerprint()
+    }
     fn is_quiescent(&self) -> bool {
         (**self).is_quiescent()
     }
     fn idle_tick(&mut self) -> bool {
         (**self).idle_tick()
     }
-    fn attach(&mut self, observer: Box<dyn Observer>) {
+    fn attach(&mut self, observer: Box<dyn Observer + Send>) {
         (**self).attach(observer);
     }
 }
@@ -93,22 +119,40 @@ where
     E: Executor + ?Sized,
     S: ScheduleSource + ?Sized,
 {
+    run_with_source_counted(exec, source, max_steps).0
+}
+
+/// [`run_with_source`], additionally returning how much of `max_steps` the
+/// run consumed (scheduled steps plus idle ticks). Resumable: a run driven
+/// in two phases — a prefix under one source, then a tail under another with
+/// the *remaining* budget — takes exactly the steps of the equivalent
+/// single-phase run. The explorer's dedup pruning relies on this to split a
+/// run at the end of its enumerated prefix.
+pub fn run_with_source_counted<E, S>(
+    exec: &mut E,
+    source: &mut S,
+    max_steps: u64,
+) -> (RunOutcome, u64)
+where
+    E: Executor + ?Sized,
+    S: ScheduleSource + ?Sized,
+{
     let mut options: Vec<(ProcessId, usize)> = Vec::new();
     let mut taken = 0u64;
     loop {
         if taken >= max_steps {
-            return RunOutcome::BudgetExhausted;
+            return (RunOutcome::BudgetExhausted, taken);
         }
         exec.enabled_actions(&mut options);
         if options.is_empty() {
             if exec.is_quiescent() || !exec.idle_tick() {
-                return RunOutcome::Quiescent;
+                return (RunOutcome::Quiescent, taken);
             }
             taken += 1;
             continue;
         }
         let Some((idx, choice)) = source.next_choice(&options) else {
-            return RunOutcome::Stopped;
+            return (RunOutcome::Stopped, taken);
         };
         exec.step(ChoiceStep {
             pid: options[idx].0,

@@ -29,7 +29,7 @@ pub struct KernelExecutor<A: Automaton, H: History<Value = A::Fd>> {
     sim: Simulator<A, H>,
     set: ProcessSet,
     digest: Digest,
-    observers: Vec<Box<dyn Observer>>,
+    observers: Vec<Box<dyn Observer + Send>>,
     delivery_msg: Option<DeliveryMsgFn<A>>,
     events_seen: usize,
     crashed_seen: ProcessSet,
@@ -155,7 +155,7 @@ impl<A: Automaton, H: History<Value = A::Fd>> Executor for KernelExecutor<A, H> 
         false
     }
 
-    fn attach(&mut self, observer: Box<dyn Observer>) {
+    fn attach(&mut self, observer: Box<dyn Observer + Send>) {
         self.observers.push(observer);
     }
 }

@@ -41,11 +41,25 @@ mod event;
 mod exec;
 mod kernel;
 mod runtime;
+mod visited;
 
 pub use event::{EventCounts, EventLog, Observer, TraceEvent};
-pub use exec::{replay, run_fair, run_recorded, run_with_source, Executor, PrefixTail};
+pub use exec::{
+    replay, run_fair, run_recorded, run_with_source, run_with_source_counted, Executor, PrefixTail,
+};
 pub use kernel::KernelExecutor;
 pub use runtime::RuntimeExecutor;
+pub use visited::VisitedSet;
+
+// Parallel explorers move one executor per worker across thread boundaries;
+// pin that capability down at compile time for both substrates.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<RuntimeExecutor>();
+    assert_send::<
+        KernelExecutor<gam_core::distributed::DistProcess, gam_core::distributed::MuHistory>,
+    >();
+};
 
 #[cfg(test)]
 mod tests {
@@ -123,8 +137,7 @@ mod tests {
     fn observer_sees_deliveries_on_both_substrates() {
         use gam_groups::{topology, GroupId};
         use gam_kernel::{FailurePattern, ProcessId, RunOutcome};
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::{Arc, Mutex};
 
         let gs = topology::single_group(3);
         // Level A
@@ -135,16 +148,20 @@ mod tests {
         );
         rt.multicast(ProcessId(0), GroupId(0), 1);
         let mut exec = RuntimeExecutor::new(rt);
-        let log = Rc::new(RefCell::new(EventLog::new()));
-        exec.attach(Box::new(Rc::clone(&log)));
-        let counts = Rc::new(RefCell::new(EventCounts::default()));
-        exec.attach(Box::new(Rc::clone(&counts)));
+        let log = Arc::new(Mutex::new(EventLog::new()));
+        exec.attach(Box::new(Arc::clone(&log)));
+        let counts = Arc::new(Mutex::new(EventCounts::default()));
+        exec.attach(Box::new(Arc::clone(&counts)));
         assert_eq!(run_fair(&mut exec, 100_000), RunOutcome::Quiescent);
         for p in gs.universe() {
-            assert_eq!(log.borrow().delivered_by(p), vec![MessageId(0)], "{p}");
+            assert_eq!(
+                log.lock().unwrap().delivered_by(p),
+                vec![MessageId(0)],
+                "{p}"
+            );
         }
-        assert_eq!(counts.borrow().deliveries, 3);
-        assert!(counts.borrow().steps > 0);
+        assert_eq!(counts.lock().unwrap().deliveries, 3);
+        assert!(counts.lock().unwrap().steps > 0);
 
         // Level B: same topology through the kernel executor.
         let pattern = FailurePattern::all_correct(gs.universe());
@@ -159,11 +176,15 @@ mod tests {
         sim.automaton_mut(ProcessId(0))
             .multicast(MessageId(0), GroupId(0));
         let mut kexec = KernelExecutor::new(sim).with_delivery_msg(|e| Some(e.msg));
-        let klog = Rc::new(RefCell::new(EventLog::new()));
-        kexec.attach(Box::new(Rc::clone(&klog)));
+        let klog = Arc::new(Mutex::new(EventLog::new()));
+        kexec.attach(Box::new(Arc::clone(&klog)));
         assert_eq!(run_fair(&mut kexec, 2_000_000), RunOutcome::Quiescent);
         for p in gs.universe() {
-            assert_eq!(klog.borrow().delivered_by(p), vec![MessageId(0)], "{p}");
+            assert_eq!(
+                klog.lock().unwrap().delivered_by(p),
+                vec![MessageId(0)],
+                "{p}"
+            );
         }
     }
 }

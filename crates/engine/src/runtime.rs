@@ -20,7 +20,7 @@ pub struct RuntimeExecutor {
     rt: Runtime,
     set: ProcessSet,
     digest: Digest,
-    observers: Vec<Box<dyn Observer>>,
+    observers: Vec<Box<dyn Observer + Send>>,
     crashed_seen: ProcessSet,
 }
 
@@ -115,6 +115,16 @@ impl Executor for RuntimeExecutor {
         self.digest.value()
     }
 
+    fn state_fingerprint(&self) -> u64 {
+        // A real state walk (unlike the history-digest default): folds the
+        // runtime's evolving state via [`Runtime::fold_state`], so schedules
+        // that *converge* — different interleavings reaching the same
+        // machine — collide here and the explorer's dedup can prune them.
+        let mut d = Digest::new();
+        self.rt.fold_state(&mut |w| d.push(w));
+        d.value()
+    }
+
     fn is_quiescent(&self) -> bool {
         self.rt.is_quiescent_in(self.set)
     }
@@ -133,7 +143,7 @@ impl Executor for RuntimeExecutor {
         true
     }
 
-    fn attach(&mut self, observer: Box<dyn Observer>) {
+    fn attach(&mut self, observer: Box<dyn Observer + Send>) {
         self.observers.push(observer);
     }
 }

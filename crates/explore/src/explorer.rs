@@ -1,5 +1,10 @@
 //! The two exploration strategies: bounded exhaustive enumeration and a
 //! seeded random swarm.
+//!
+//! Both come in a sequential flavor (this module) and a parallel,
+//! dedup-pruned flavor ([`crate::par`]). The sequential loops are the
+//! reference semantics: the parallel engines are verified (by
+//! `tests/parallel_determinism.rs`) to produce byte-identical [`Repro`]s.
 
 use crate::shrink::shrink;
 use crate::{PrefixTail, Repro, Scenario};
@@ -18,32 +23,84 @@ pub struct Counterexample {
     pub shrink_runs: u64,
 }
 
+/// Why an exploration stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The whole space (every bounded prefix / every seed) was covered and
+    /// no violation was found.
+    Exhausted,
+    /// Exploration stopped at a spec violation (packaged in
+    /// [`ExploreStats::violations`]).
+    ViolationFound,
+    /// The run cap was hit before the space was covered — coverage is
+    /// partial and violation-free so far.
+    RunCapped,
+}
+
 /// What an exploration covered and found.
 #[derive(Debug, Clone)]
 pub struct ExploreStats {
-    /// Scheduled runs executed (excluding shrinker candidates).
+    /// Scheduled runs executed (excluding shrinker candidates; dedup-pruned
+    /// prefixes count — their enumerated part did run).
     pub runs: u64,
     /// Counterexamples found (exploration stops at the first).
     pub violations: Vec<Counterexample>,
-    /// Whether the whole space (all prefixes / all seeds) was covered.
-    pub complete: bool,
+    /// Why exploration stopped.
+    pub outcome: Outcome,
+    /// Runs whose fair-tail completion was skipped because the post-prefix
+    /// state fingerprint was already in the visited set (always 0 for the
+    /// sequential strategies and the swarm, which has no prefix/tail split).
+    pub dedup_hits: u64,
+    /// Runs executed by each worker of the pool (a single entry for the
+    /// sequential strategies).
+    pub worker_runs: Vec<u64>,
 }
 
 impl ExploreStats {
+    /// True when the whole space was covered (no cap, no early stop at a
+    /// violation).
+    pub fn complete(&self) -> bool {
+        self.outcome == Outcome::Exhausted
+    }
+
     /// True when the space was fully covered with no violation.
     pub fn clean(&self) -> bool {
-        self.complete && self.violations.is_empty()
+        self.complete() && self.violations.is_empty()
+    }
+
+    /// Fraction of runs whose tail was dedup-pruned.
+    pub fn dedup_hit_rate(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / self.runs as f64
+        }
+    }
+
+    pub(crate) fn sequential(runs: u64, violations: Vec<Counterexample>, outcome: Outcome) -> Self {
+        ExploreStats {
+            runs,
+            violations,
+            outcome,
+            dedup_hits: 0,
+            worker_runs: vec![runs],
+        }
     }
 }
 
-fn found(
+pub(crate) fn found(
     scenario: &Scenario,
     schedule: Vec<gam_kernel::ChoiceStep>,
     violation: SpecViolation,
     seed: u64,
+    shrink_budget: u64,
 ) -> Counterexample {
-    let (scenario, schedule, shrink_runs) =
-        shrink(scenario.clone(), schedule, violation.property, 800);
+    let (scenario, schedule, shrink_runs) = shrink(
+        scenario.clone(),
+        schedule,
+        violation.property,
+        shrink_budget,
+    );
     Counterexample {
         repro: Repro {
             scenario,
@@ -64,18 +121,23 @@ fn found(
 /// The choice tree is walked odometer-style: each run records the
 /// branching factor actually met at every depth, which is exactly the
 /// information needed to advance to the next unexplored prefix. Stops at
-/// the first violation (shrunk into a [`Counterexample`]) or after
-/// `max_runs` runs; `complete` reports whether the tree was exhausted.
-pub fn explore_exhaustive(scenario: &Scenario, depth: usize, max_runs: u64) -> ExploreStats {
+/// the first violation (shrunk within `shrink_budget` candidate runs into a
+/// [`Counterexample`]) or after `max_runs` runs; [`ExploreStats::outcome`]
+/// reports which.
+///
+/// For multi-core exploration of the same tree see
+/// [`explore_exhaustive_par`](crate::explore_exhaustive_par).
+pub fn explore_exhaustive(
+    scenario: &Scenario,
+    depth: usize,
+    max_runs: u64,
+    shrink_budget: u64,
+) -> ExploreStats {
     let mut path = vec![0usize; depth];
     let mut runs = 0u64;
     loop {
         if runs >= max_runs {
-            return ExploreStats {
-                runs,
-                violations: Vec::new(),
-                complete: false,
-            };
+            return ExploreStats::sequential(runs, Vec::new(), Outcome::RunCapped);
         }
         let mut path_source = PathSource::new(path.clone());
         let mut source = RecordingSource::new(PrefixTail::new(&mut path_source));
@@ -83,22 +145,18 @@ pub fn explore_exhaustive(scenario: &Scenario, depth: usize, max_runs: u64) -> E
         let schedule = source.into_log();
         runs += 1;
         if let Err(violation) = check_all(&report, scenario.variant) {
-            return ExploreStats {
+            return ExploreStats::sequential(
                 runs,
-                violations: vec![found(scenario, schedule, violation, 0)],
-                complete: false,
-            };
+                vec![found(scenario, schedule, violation, 0, shrink_budget)],
+                Outcome::ViolationFound,
+            );
         }
         // Advance the odometer: bump the deepest consumed digit that still
         // has unexplored siblings, reset everything after it.
         let branching = path_source.branching();
         let used = branching.len().min(depth);
         let Some(bump) = (0..used).rev().find(|&i| path[i] + 1 < branching[i]) else {
-            return ExploreStats {
-                runs,
-                violations: Vec::new(),
-                complete: true,
-            };
+            return ExploreStats::sequential(runs, Vec::new(), Outcome::Exhausted);
         };
         path[bump] += 1;
         for digit in path.iter_mut().skip(bump + 1) {
@@ -109,27 +167,36 @@ pub fn explore_exhaustive(scenario: &Scenario, depth: usize, max_runs: u64) -> E
 
 /// Runs the scenario once per seed under the uniformly random scheduler,
 /// recording each schedule, and checks every terminal state. Stops at the
-/// first violation, shrunk into a [`Counterexample`].
-pub fn explore_swarm(scenario: &Scenario, seeds: Range<u64>) -> ExploreStats {
+/// first violation, shrunk within `shrink_budget` candidate runs into a
+/// [`Counterexample`].
+///
+/// For multi-core striping over the same seed range see
+/// [`explore_swarm_par`](crate::explore_swarm_par).
+pub fn explore_swarm(scenario: &Scenario, seeds: Range<u64>, shrink_budget: u64) -> ExploreStats {
     let mut runs = 0u64;
     for seed in seeds {
         let mut source = RecordingSource::new(RandomSource::new(seed));
         let report = scenario.run(&mut source);
         runs += 1;
         if let Err(violation) = check_all(&report, scenario.variant) {
-            return ExploreStats {
+            return ExploreStats::sequential(
                 runs,
-                violations: vec![found(scenario, source.into_log(), violation, seed)],
-                complete: false,
-            };
+                vec![found(
+                    scenario,
+                    source.into_log(),
+                    violation,
+                    seed,
+                    shrink_budget,
+                )],
+                Outcome::ViolationFound,
+            );
         }
     }
-    ExploreStats {
-        runs,
-        violations: Vec::new(),
-        complete: true,
-    }
+    ExploreStats::sequential(runs, Vec::new(), Outcome::Exhausted)
 }
+
+/// The default shrinker budget (candidate runs) of the `explore_*` family.
+pub const DEFAULT_SHRINK_BUDGET: u64 = 800;
 
 #[cfg(test)]
 mod tests {
@@ -139,25 +206,30 @@ mod tests {
     #[test]
     fn exhaustive_single_group_is_clean_and_complete() {
         let scenario = Scenario::one_per_group(&topology::single_group(2), 20_000);
-        let stats = explore_exhaustive(&scenario, 3, 5_000);
+        let stats = explore_exhaustive(&scenario, 3, 5_000, DEFAULT_SHRINK_BUDGET);
         assert!(stats.clean(), "violations: {:?}", stats.violations);
         assert!(stats.runs > 1, "more than one prefix explored");
+        assert_eq!(stats.outcome, Outcome::Exhausted);
+        assert_eq!(stats.worker_runs, vec![stats.runs]);
+        assert_eq!(stats.dedup_hits, 0);
     }
 
     #[test]
     fn exhaustive_respects_run_cap() {
         let scenario = Scenario::one_per_group(&topology::two_overlapping(3, 1), 50_000);
-        let stats = explore_exhaustive(&scenario, 4, 7);
+        let stats = explore_exhaustive(&scenario, 4, 7, DEFAULT_SHRINK_BUDGET);
         assert_eq!(stats.runs, 7);
-        assert!(!stats.complete);
+        assert_eq!(stats.outcome, Outcome::RunCapped);
+        assert!(!stats.complete());
         assert!(stats.violations.is_empty());
     }
 
     #[test]
     fn swarm_on_ring_is_clean() {
         let scenario = Scenario::one_per_group(&topology::ring(3, 2), 100_000);
-        let stats = explore_swarm(&scenario, 0..5);
+        let stats = explore_swarm(&scenario, 0..5, DEFAULT_SHRINK_BUDGET);
         assert!(stats.clean(), "violations: {:?}", stats.violations);
         assert_eq!(stats.runs, 5);
+        assert_eq!(stats.outcome, Outcome::Exhausted);
     }
 }

@@ -10,6 +10,11 @@
 //!   terminal state against [`gam_core::spec::check_all`];
 //! - [`explore_swarm`] drives a seeded random swarm over the full run,
 //!   recording each schedule as it goes;
+//! - [`explore_exhaustive_par`] / [`explore_swarm_par`] scale both across
+//!   a worker pool (prefix-partitioned tree / striped seed range) with a
+//!   deterministic merge — the reported counterexample is independent of
+//!   the thread count — plus visited-set dedup of converged prefixes (see
+//!   [`ExploreConfig`]);
 //! - on a violation, [`shrink`] delta-debugs the failing run — dropping
 //!   crashes and submissions, truncating the schedule, collapsing choices
 //!   toward the round-robin default — down to a minimal counterexample;
@@ -28,12 +33,16 @@
 
 mod explorer;
 pub mod kernel;
+mod par;
 mod repro;
 mod shrink;
 
-pub use explorer::{explore_exhaustive, explore_swarm, Counterexample, ExploreStats};
+pub use explorer::{
+    explore_exhaustive, explore_swarm, Counterexample, ExploreStats, Outcome, DEFAULT_SHRINK_BUDGET,
+};
 pub use gam_engine::digest::{self, fnv1a, trace_hash};
 pub use gam_engine::PrefixTail;
+pub use par::{explore_exhaustive_par, explore_swarm_par, ExploreConfig};
 pub use repro::Repro;
 pub use shrink::shrink;
 

@@ -1,0 +1,493 @@
+//! Parallel, dedup-pruned exploration with a deterministic merge.
+//!
+//! The sequential strategies of [`crate::explorer`] are the repo's hot path
+//! — every correctness claim is quantified over schedules, and covering
+//! schedules means running the machine over and over. This module scales
+//! them across cores without giving up the property that makes exploration
+//! results *citable*: the reported counterexample is independent of the
+//! thread count.
+//!
+//! ## Sharding
+//!
+//! - [`explore_exhaustive_par`] partitions the bounded choice tree by its
+//!   first one or two odometer digits: the root arity and the second-level
+//!   arities are probed up front (cheap partial runs), and each resulting
+//!   prefix becomes a work item claimed from a shared queue. Within an item
+//!   a worker walks exactly the sequential odometer with the leading digits
+//!   pinned, so the union of all items is the sequential enumeration,
+//!   re-ordered only *across* items.
+//! - [`explore_swarm_par`] stripes the seed range: worker `w` of `t` runs
+//!   seeds `start+w, start+w+t, …` in ascending order.
+//!
+//! ## Deterministic merge
+//!
+//! Work items (and seed stripes) are ordered, and each worker stops its
+//! current item/stripe at the first violation it meets. The merge then
+//! reports the violation of the *lowest* item index (exhaustive) or the
+//! *lowest* seed (swarm) and shrinks only that one — which is precisely the
+//! counterexample the sequential loop would have stopped at. `Repro` output
+//! is therefore byte-identical for 1 vs N threads (verified by
+//! `tests/parallel_determinism.rs`). Run *counts* are deterministic
+//! whenever exploration covers the whole space; once a violation or the run
+//! cap stops it early, how far the other workers got depends on timing.
+//!
+//! ## Dedup pruning
+//!
+//! Distinct enumerated prefixes frequently *converge* — two interleavings
+//! of independent actions reach the same machine. The sequential explorer
+//! re-runs the (long) fair tail after every such prefix; the parallel one
+//! keeps a per-worker [`VisitedSet`] of post-prefix
+//! [`state_fingerprint`](gam_engine::Executor::state_fingerprint)s and
+//! skips the tail when the state was already completed by this worker.
+//! Equal fingerprints imply equal machine *and* equal consumed budget (the
+//! clock ticks once per step or idle and is folded first), so the pruned
+//! tail could only repeat a verdict already recorded — modulo 64-bit
+//! fingerprint collisions, the standard hashed-state caveat of
+//! explicit-state model checking. Crucially, only states whose tail
+//! completed *clean* are recorded: a violating tail returns before its
+//! state is inserted, so a hit can never hide a violation and the merged
+//! counterexample is unaffected by pruning. The set is never shared across
+//! workers (probe outcomes would race); at one thread the hit count is
+//! deterministic, at N threads it varies with which worker claimed which
+//! item — but `runs`, the verdicts, and the reported counterexample do
+//! not. Hit counts land in [`ExploreStats::dedup_hits`].
+
+use crate::explorer::{found, ExploreStats, Outcome, DEFAULT_SHRINK_BUDGET};
+use crate::Scenario;
+use gam_core::spec::{check_all, SpecViolation};
+use gam_engine::{run_with_source, run_with_source_counted, Executor, VisitedSet};
+use gam_kernel::schedule::{ChoiceStep, PathSource, RandomSource, RecordingSource, RotatingSource};
+use gam_kernel::RunOutcome;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Tuning of the parallel exploration engines.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Worker threads. `0` (the default) resolves to the
+    /// `GAM_EXPLORE_THREADS` environment variable if set, else to
+    /// [`std::thread::available_parallelism`].
+    pub threads: usize,
+    /// Candidate runs the shrinker may spend on a found violation
+    /// (default [`DEFAULT_SHRINK_BUDGET`]).
+    pub shrink_budget: u64,
+    /// Capacity of each worker's visited-set for fair-tail dedup in
+    /// [`explore_exhaustive_par`]; `0` disables pruning. The swarm has no
+    /// prefix/tail split, so the setting does not affect it.
+    pub dedup_capacity: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            threads: 0,
+            shrink_budget: DEFAULT_SHRINK_BUDGET,
+            dedup_capacity: 1 << 16,
+        }
+    }
+}
+
+impl ExploreConfig {
+    /// The actual worker count: `threads` if nonzero, else the
+    /// `GAM_EXPLORE_THREADS` environment variable, else
+    /// [`std::thread::available_parallelism`] (1 if unknown).
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        if let Some(n) = std::env::var("GAM_EXPLORE_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|n| *n > 0)
+        {
+            return n;
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Total option arity of the choice space reached by driving `scenario`
+/// through `prefix` (0 when the run terminates within the prefix).
+fn arity_after(scenario: &Scenario, prefix: &[usize]) -> usize {
+    let mut exec = scenario.runtime_executor();
+    let mut src = PathSource::new(prefix.to_vec());
+    if run_with_source(&mut exec, &mut src, scenario.max_steps) != RunOutcome::Stopped {
+        return 0;
+    }
+    // Stopped ⇒ the source ran dry at a choice point; the options are still
+    // enabled, the driver just didn't get an answer for them.
+    let mut options = Vec::new();
+    exec.enabled_actions(&mut options);
+    options.iter().map(|(_, arity)| arity).sum()
+}
+
+/// The work items of the bounded tree: pinned odometer prefixes of length
+/// ≤ 2, in lexicographic (= sequential enumeration) order.
+fn exhaustive_items(scenario: &Scenario, depth: usize) -> Vec<Vec<usize>> {
+    if depth == 0 {
+        return vec![Vec::new()];
+    }
+    let b0 = arity_after(scenario, &[]);
+    if b0 == 0 {
+        // The run never reaches a choice point: one (schedule-free) run.
+        return vec![Vec::new()];
+    }
+    if depth == 1 {
+        return (0..b0).map(|d| vec![d]).collect();
+    }
+    let mut items = Vec::new();
+    for d0 in 0..b0 {
+        let b1 = arity_after(scenario, &[d0]);
+        if b1 == 0 {
+            items.push(vec![d0]);
+        } else {
+            items.extend((0..b1).map(|d1| vec![d0, d1]));
+        }
+    }
+    items
+}
+
+#[derive(Debug, Default)]
+struct ItemResult {
+    runs: u64,
+    dedup_hits: u64,
+    capped: bool,
+    /// The violating schedule, the violation, and the repro seed (the
+    /// violating seed for swarm items, 0 for enumerated prefixes).
+    violation: Option<(Vec<ChoiceStep>, SpecViolation, u64)>,
+}
+
+/// Walks every enumerated path whose leading digits equal `prefix` —
+/// exactly the sequential odometer with those digits pinned — stopping at
+/// the item's first violation or when the shared run budget runs dry.
+fn explore_item(
+    scenario: &Scenario,
+    depth: usize,
+    prefix: &[usize],
+    reserved: &AtomicU64,
+    max_runs: u64,
+    mut visited: Option<&mut VisitedSet>,
+) -> ItemResult {
+    let mut res = ItemResult::default();
+    let mut path = vec![0usize; depth];
+    path[..prefix.len()].copy_from_slice(prefix);
+    loop {
+        // Reserve a run from the shared budget *before* running, so the
+        // total across all workers matches the sequential cap exactly.
+        if reserved.fetch_add(1, Ordering::Relaxed) >= max_runs {
+            res.capped = true;
+            return res;
+        }
+        let mut exec = scenario.runtime_executor();
+        let mut path_source = PathSource::new(path.clone());
+        let mut rec = RecordingSource::new(&mut path_source);
+        let (out, consumed) = run_with_source_counted(&mut exec, &mut rec, scenario.max_steps);
+        let mut schedule = rec.into_log();
+        res.runs += 1;
+        let mut tail_state = None;
+        let report = if out == RunOutcome::Stopped {
+            // The enumerated prefix ran dry mid-run: the fair tail from here
+            // is a function of the post-prefix state and the remaining
+            // budget alone, so skip it if this state was already completed
+            // (clean) by this worker.
+            let fp = exec.state_fingerprint();
+            if visited.as_deref().is_some_and(|seen| seen.contains(fp)) {
+                res.dedup_hits += 1;
+                None
+            } else {
+                tail_state = Some(fp);
+                let mut tail = RecordingSource::new(RotatingSource::default());
+                let (tail_out, _) =
+                    run_with_source_counted(&mut exec, &mut tail, scenario.max_steps - consumed);
+                schedule.extend(tail.into_log());
+                Some(exec.report(tail_out == RunOutcome::Quiescent))
+            }
+        } else {
+            // The run terminated within the enumerated prefix itself.
+            Some(exec.report(out == RunOutcome::Quiescent))
+        };
+        if let Some(report) = report {
+            if let Err(violation) = check_all(&report, scenario.variant) {
+                res.violation = Some((schedule, violation, 0));
+                return res;
+            }
+            // Only a *clean* tail verdict is remembered: a violating state
+            // never enters the set, so pruning cannot hide a counterexample.
+            if let (Some(fp), Some(seen)) = (tail_state, visited.as_deref_mut()) {
+                seen.insert(fp);
+            }
+        }
+        // Advance the odometer over the free digits only.
+        let branching = path_source.branching();
+        let used = branching.len().min(depth);
+        let Some(bump) = (prefix.len()..used)
+            .rev()
+            .find(|&i| path[i] + 1 < branching[i])
+        else {
+            return res;
+        };
+        path[bump] += 1;
+        for digit in path.iter_mut().skip(bump + 1) {
+            *digit = 0;
+        }
+    }
+}
+
+/// Parallel, dedup-pruned version of
+/// [`explore_exhaustive`](crate::explore_exhaustive): same tree, same
+/// checks, same canonical counterexample, spread over
+/// [`ExploreConfig::resolved_threads`] workers.
+pub fn explore_exhaustive_par(
+    scenario: &Scenario,
+    depth: usize,
+    max_runs: u64,
+    config: &ExploreConfig,
+) -> ExploreStats {
+    let items = exhaustive_items(scenario, depth);
+    let threads = config.resolved_threads().clamp(1, items.len().max(1));
+    let next_item = AtomicUsize::new(0);
+    let reserved = AtomicU64::new(0);
+    // Lowest item index known to hold a violation; items beyond it can only
+    // yield canonically-later counterexamples, so workers skip them.
+    let best_item = AtomicUsize::new(usize::MAX);
+    let per_worker: Vec<(u64, Vec<(usize, ItemResult)>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut visited = (config.dedup_capacity > 0)
+                        .then(|| VisitedSet::with_capacity(config.dedup_capacity));
+                    let mut runs = 0u64;
+                    let mut results = Vec::new();
+                    loop {
+                        let i = next_item.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        if i > best_item.load(Ordering::Relaxed) {
+                            continue;
+                        }
+                        let r = explore_item(
+                            scenario,
+                            depth,
+                            &items[i],
+                            &reserved,
+                            max_runs,
+                            visited.as_mut(),
+                        );
+                        runs += r.runs;
+                        if r.violation.is_some() {
+                            best_item.fetch_min(i, Ordering::Relaxed);
+                        }
+                        results.push((i, r));
+                    }
+                    (runs, results)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("explorer worker panicked"))
+            .collect()
+    });
+
+    merge(scenario, per_worker, config.shrink_budget)
+}
+
+/// Parallel version of [`explore_swarm`](crate::explore_swarm): worker `w`
+/// of `t` runs seeds `start+w, start+w+t, …` ascending, and the merge
+/// reports the lowest violating seed — the one the sequential sweep would
+/// have stopped at.
+pub fn explore_swarm_par(
+    scenario: &Scenario,
+    seeds: Range<u64>,
+    config: &ExploreConfig,
+) -> ExploreStats {
+    let span = seeds.end.saturating_sub(seeds.start);
+    let threads = (config.resolved_threads() as u64).clamp(1, span.max(1)) as usize;
+    // Lowest violating seed found so far; stripes are ascending, so a
+    // worker whose next seed is beyond it cannot improve the answer.
+    let best_seed = AtomicU64::new(u64::MAX);
+    let per_worker: Vec<(u64, Vec<(usize, ItemResult)>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let seeds = seeds.clone();
+                let best_seed = &best_seed;
+                scope.spawn(move || {
+                    let mut runs = 0u64;
+                    let mut results = Vec::new();
+                    let mut seed = seeds.start + w as u64;
+                    while seed < seeds.end {
+                        if seed > best_seed.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let mut source = RecordingSource::new(RandomSource::new(seed));
+                        let report = scenario.run(&mut source);
+                        runs += 1;
+                        if let Err(violation) = check_all(&report, scenario.variant) {
+                            best_seed.fetch_min(seed, Ordering::Relaxed);
+                            results.push((
+                                (seed - seeds.start) as usize,
+                                ItemResult {
+                                    violation: Some((source.into_log(), violation, seed)),
+                                    ..ItemResult::default()
+                                },
+                            ));
+                            break;
+                        }
+                        let Some(next) = seed.checked_add(threads as u64) else {
+                            break;
+                        };
+                        seed = next;
+                    }
+                    (runs, results)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("swarm worker panicked"))
+            .collect()
+    });
+
+    merge(scenario, per_worker, config.shrink_budget)
+}
+
+/// Deterministic merge: sums the run/dedup tallies, and packages the
+/// violation of the lowest item index (shrunk once, after the merge).
+fn merge(
+    scenario: &Scenario,
+    per_worker: Vec<(u64, Vec<(usize, ItemResult)>)>,
+    shrink_budget: u64,
+) -> ExploreStats {
+    let mut worker_runs = Vec::with_capacity(per_worker.len());
+    let mut runs = 0u64;
+    let mut dedup_hits = 0u64;
+    let mut capped = false;
+    let mut best: Option<(usize, Vec<ChoiceStep>, SpecViolation, u64)> = None;
+    for (wr, results) in per_worker {
+        worker_runs.push(wr);
+        runs += wr;
+        for (idx, r) in results {
+            dedup_hits += r.dedup_hits;
+            capped |= r.capped;
+            if let Some((schedule, violation, seed)) = r.violation {
+                if best.as_ref().is_none_or(|(bi, ..)| idx < *bi) {
+                    best = Some((idx, schedule, violation, seed));
+                }
+            }
+        }
+    }
+    let (outcome, violations) = match best {
+        Some((_, schedule, violation, seed)) => (
+            Outcome::ViolationFound,
+            vec![found(scenario, schedule, violation, seed, shrink_budget)],
+        ),
+        None if capped => (Outcome::RunCapped, Vec::new()),
+        None => (Outcome::Exhausted, Vec::new()),
+    };
+    ExploreStats {
+        runs,
+        violations,
+        outcome,
+        dedup_hits,
+        worker_runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::{explore_exhaustive, explore_swarm};
+    use gam_groups::topology;
+
+    fn config(threads: usize, dedup_capacity: usize) -> ExploreConfig {
+        ExploreConfig {
+            threads,
+            shrink_budget: DEFAULT_SHRINK_BUDGET,
+            dedup_capacity,
+        }
+    }
+
+    #[test]
+    fn items_cover_the_root_fanout_in_order() {
+        let scenario = Scenario::one_per_group(&topology::single_group(2), 20_000);
+        let items = exhaustive_items(&scenario, 3);
+        assert!(!items.is_empty());
+        let mut sorted = items.clone();
+        sorted.sort();
+        assert_eq!(items, sorted, "items must be in lexicographic order");
+        let b0 = arity_after(&scenario, &[]);
+        assert!(b0 > 0);
+        assert_eq!(
+            items
+                .iter()
+                .map(|i| i[0])
+                .collect::<std::collections::BTreeSet<_>>(),
+            (0..b0).collect(),
+            "every root digit owned by some item"
+        );
+    }
+
+    #[test]
+    fn par_exhaustive_matches_sequential_coverage() {
+        let scenario = Scenario::one_per_group(&topology::single_group(2), 20_000);
+        let seq = explore_exhaustive(&scenario, 3, 5_000, DEFAULT_SHRINK_BUDGET);
+        assert!(seq.clean());
+        for threads in [1, 2, 4] {
+            let par = explore_exhaustive_par(&scenario, 3, 5_000, &config(threads, 0));
+            assert!(par.clean(), "{threads} threads: {:?}", par.violations);
+            assert_eq!(par.runs, seq.runs, "{threads} threads");
+            assert_eq!(par.outcome, Outcome::Exhausted);
+        }
+    }
+
+    #[test]
+    fn dedup_prunes_tails_without_changing_coverage() {
+        let scenario = Scenario::one_per_group(&topology::two_overlapping(3, 1), 50_000);
+        let plain = explore_exhaustive_par(&scenario, 3, 50_000, &config(1, 0));
+        let pruned = explore_exhaustive_par(&scenario, 3, 50_000, &config(1, 1 << 12));
+        assert!(plain.clean() && pruned.clean());
+        assert_eq!(plain.runs, pruned.runs, "dedup must not skip prefixes");
+        assert_eq!(plain.dedup_hits, 0);
+        assert!(
+            pruned.dedup_hits > 0,
+            "no converging prefixes pruned in {} runs",
+            pruned.runs
+        );
+    }
+
+    #[test]
+    fn par_run_cap_is_exact_at_one_thread() {
+        let scenario = Scenario::one_per_group(&topology::two_overlapping(3, 1), 50_000);
+        let par = explore_exhaustive_par(&scenario, 4, 7, &config(1, 0));
+        assert_eq!(par.runs, 7);
+        assert_eq!(par.outcome, Outcome::RunCapped);
+        assert!(!par.complete());
+        assert!(par.violations.is_empty());
+    }
+
+    #[test]
+    fn par_swarm_matches_sequential_on_clean_range() {
+        let scenario = Scenario::one_per_group(&topology::ring(3, 2), 100_000);
+        let seq = explore_swarm(&scenario, 0..6, DEFAULT_SHRINK_BUDGET);
+        assert!(seq.clean());
+        for threads in [1, 2, 4] {
+            let par = explore_swarm_par(&scenario, 0..6, &config(threads, 0));
+            assert!(par.clean(), "{threads} threads: {:?}", par.violations);
+            assert_eq!(par.runs, 6, "{threads} threads");
+            assert_eq!(par.worker_runs.iter().sum::<u64>(), par.runs);
+            assert_eq!(par.worker_runs.len(), threads.min(6));
+        }
+    }
+
+    #[test]
+    fn worker_count_resolution_prefers_explicit_over_env() {
+        let explicit = ExploreConfig {
+            threads: 3,
+            ..ExploreConfig::default()
+        };
+        assert_eq!(explicit.resolved_threads(), 3);
+        let auto = ExploreConfig::default();
+        assert!(auto.resolved_threads() >= 1);
+    }
+}

@@ -8,7 +8,7 @@
 //! Run with: `cargo test -p gam-explore --features mutation`
 #![cfg(feature = "mutation")]
 
-use gam_explore::{explore_swarm, Repro, Scenario};
+use gam_explore::{explore_swarm, Repro, Scenario, DEFAULT_SHRINK_BUDGET};
 use gam_groups::topology;
 
 #[test]
@@ -16,7 +16,7 @@ fn explorer_finds_and_shrinks_the_seeded_ordering_bug() {
     // two_overlapping has no cyclic family (γ = ∅ throughout), so the
     // mutated guard is the only thing ordering cross-group deliveries.
     let scenario = Scenario::one_per_group(&topology::two_overlapping(4, 2), 200_000);
-    let stats = explore_swarm(&scenario, 0..64);
+    let stats = explore_swarm(&scenario, 0..64, DEFAULT_SHRINK_BUDGET);
     assert!(
         !stats.violations.is_empty(),
         "mutation survived {} swarm seeds",
@@ -54,6 +54,6 @@ fn clean_topologies_still_pass_under_mutation_when_no_overlap() {
     // Sanity: the mutation only bites where groups intersect; disjoint
     // groups must stay clean, so a finding above really is the seeded bug.
     let scenario = Scenario::one_per_group(&topology::disjoint(2, 3), 200_000);
-    let stats = explore_swarm(&scenario, 0..8);
+    let stats = explore_swarm(&scenario, 0..8, DEFAULT_SHRINK_BUDGET);
     assert!(stats.clean(), "violations: {:?}", stats.violations);
 }

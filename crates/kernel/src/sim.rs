@@ -455,6 +455,17 @@ mod tests {
     }
 
     #[test]
+    fn simulator_is_send_for_threaded_exploration() {
+        // The parallel explorer moves whole simulators onto worker threads;
+        // a non-Send field sneaking into the state (Rc, raw pointers, …)
+        // must fail here rather than in gam-explore's build.
+        fn assert_send<T: Send>(_: &T) {}
+        let pattern = FailurePattern::all_correct(ProcessSet::first_n(3));
+        let sim = Simulator::new(flood_system(3, 0), pattern, NoDetector);
+        assert_send(&sim);
+    }
+
+    #[test]
     fn round_robin_floods_everyone() {
         let n = 5;
         let pattern = FailurePattern::all_correct(ProcessSet::first_n(n));

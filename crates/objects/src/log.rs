@@ -163,6 +163,13 @@ impl<D: Ord + Clone> Log<D> {
         self.entries.is_empty()
     }
 
+    /// The entries as `(datum, position, locked)` triples, in the a-priori
+    /// data order (deterministic regardless of operation history) — the
+    /// iteration state fingerprints walk.
+    pub fn entries(&self) -> impl Iterator<Item = (&D, Pos, bool)> {
+        self.entries.iter().map(|(d, e)| (d, Pos(e.slot), e.locked))
+    }
+
     /// The data items in log order (`<_L`).
     pub fn iter_in_order(&self) -> impl Iterator<Item = &D> {
         let mut v: Vec<(&D, u64)> = self.entries.iter().map(|(d, e)| (d, e.slot)).collect();

@@ -7,8 +7,7 @@
 //! in which order, and whether the spec holds. Recorded schedules replay
 //! byte-identically on the substrate that produced them.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use gam_kernel::RunOutcome;
 use genuine_multicast::core::distributed::run_report;
@@ -29,25 +28,25 @@ fn both_substrates(
     let universe = scenario.system.universe();
 
     let mut rt_exec = scenario.runtime_executor();
-    let rt_log = Rc::new(RefCell::new(EventLog::new()));
-    rt_exec.attach(Box::new(Rc::clone(&rt_log)));
+    let rt_log = Arc::new(Mutex::new(EventLog::new()));
+    rt_exec.attach(Box::new(Arc::clone(&rt_log)));
     let out = engine::run_fair(&mut rt_exec, scenario.max_steps);
     assert_eq!(out, RunOutcome::Quiescent, "Level A must quiesce");
     let rt_report = rt_exec.report(true);
     let rt_orders: Vec<_> = universe
         .iter()
-        .map(|p| rt_log.borrow().delivered_by(p))
+        .map(|p| rt_log.lock().unwrap().delivered_by(p))
         .collect();
 
     let mut k_exec = scenario.kernel_executor();
-    let k_log = Rc::new(RefCell::new(EventLog::new()));
-    k_exec.attach(Box::new(Rc::clone(&k_log)));
+    let k_log = Arc::new(Mutex::new(EventLog::new()));
+    k_exec.attach(Box::new(Arc::clone(&k_log)));
     let out = engine::run_fair(&mut k_exec, scenario.max_steps);
     assert_eq!(out, RunOutcome::Quiescent, "Level B must quiesce");
     let k_report = run_report(k_exec.sim(), &scenario.system, &scenario.submissions, true);
     let k_orders: Vec<_> = universe
         .iter()
-        .map(|p| k_log.borrow().delivered_by(p))
+        .map(|p| k_log.lock().unwrap().delivered_by(p))
         .collect();
 
     ((rt_report, rt_orders), (k_report, k_orders))

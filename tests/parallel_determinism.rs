@@ -1,0 +1,117 @@
+//! Thread-count invariance of the parallel explorer.
+//!
+//! The contract of `gam_explore::par` is that parallelism changes wall-clock
+//! time and nothing else a user can cite: the reported counterexample — its
+//! `Repro` text and its replay trace digest — is byte-identical whether the
+//! exploration ran on 1, 2, or 4 workers, and identical to what the
+//! sequential reference loops produce. Clean explorations must also agree
+//! on coverage (`runs`, outcome), with and without dedup pruning.
+//!
+//! Violating workloads are built without any seeded bug: `check_all`'s
+//! termination property requires quiescence, so a step budget too small for
+//! the protocol to finish makes every schedule a counterexample. That is
+//! the adversarial case for the merge — every worker finds a violation at
+//! once, and the canonically-least one must still win the race.
+
+use genuine_multicast::explore::{
+    explore_exhaustive, explore_swarm, Outcome, DEFAULT_SHRINK_BUDGET,
+};
+use genuine_multicast::prelude::*;
+
+fn config(threads: usize, dedup_capacity: usize) -> ExploreConfig {
+    ExploreConfig {
+        threads,
+        shrink_budget: DEFAULT_SHRINK_BUDGET,
+        dedup_capacity,
+    }
+}
+
+/// A scenario whose step budget is far below quiescence: every completed
+/// schedule violates termination, so every work item / seed races to
+/// report a counterexample and the merge must pick the canonical one.
+fn starved_scenario() -> Scenario {
+    Scenario::one_per_group(&topology::two_overlapping(3, 1), 12)
+}
+
+#[test]
+fn exhaustive_counterexample_is_invariant_across_thread_counts() {
+    let scenario = starved_scenario();
+    let seq = explore_exhaustive(&scenario, 3, 10_000, DEFAULT_SHRINK_BUDGET);
+    assert_eq!(seq.outcome, Outcome::ViolationFound);
+    let reference = &seq.violations[0];
+    assert_eq!(reference.violation.property, "termination");
+
+    for threads in [1, 2, 4] {
+        for dedup_capacity in [0, 1 << 12] {
+            let par =
+                explore_exhaustive_par(&scenario, 3, 10_000, &config(threads, dedup_capacity));
+            assert_eq!(par.outcome, Outcome::ViolationFound, "{threads} threads");
+            let cx = &par.violations[0];
+            assert_eq!(
+                cx.repro.to_text(),
+                reference.repro.to_text(),
+                "{threads} threads, dedup {dedup_capacity}: repro text diverged"
+            );
+            assert_eq!(
+                cx.repro.trace_hash(),
+                reference.repro.trace_hash(),
+                "{threads} threads, dedup {dedup_capacity}: trace digest diverged"
+            );
+            assert_eq!(cx.violation.property, reference.violation.property);
+        }
+    }
+}
+
+#[test]
+fn swarm_counterexample_is_invariant_across_thread_counts() {
+    let scenario = starved_scenario();
+    let seq = explore_swarm(&scenario, 0..8, DEFAULT_SHRINK_BUDGET);
+    assert_eq!(seq.outcome, Outcome::ViolationFound);
+    let reference = &seq.violations[0];
+    assert_eq!(reference.repro.seed, 0, "lowest violating seed wins");
+
+    for threads in [1, 2, 4] {
+        let par = explore_swarm_par(&scenario, 0..8, &config(threads, 0));
+        assert_eq!(par.outcome, Outcome::ViolationFound, "{threads} threads");
+        let cx = &par.violations[0];
+        assert_eq!(cx.repro.seed, 0, "{threads} threads");
+        assert_eq!(
+            cx.repro.to_text(),
+            reference.repro.to_text(),
+            "{threads} threads: repro text diverged"
+        );
+        assert_eq!(
+            cx.repro.trace_hash(),
+            reference.repro.trace_hash(),
+            "{threads} threads: trace digest diverged"
+        );
+    }
+}
+
+#[test]
+fn clean_exploration_stats_are_invariant_across_thread_counts() {
+    // With enough budget the same topology quiesces everywhere: full
+    // coverage, and the covered-prefix count must not depend on threads or
+    // on dedup pruning (pruning skips tails, never enumerated prefixes).
+    let scenario = Scenario::one_per_group(&topology::two_overlapping(3, 1), 50_000);
+    let seq = explore_exhaustive(&scenario, 3, 10_000, DEFAULT_SHRINK_BUDGET);
+    assert!(seq.clean());
+
+    for threads in [1, 2, 4] {
+        for dedup_capacity in [0, 1 << 12] {
+            let par =
+                explore_exhaustive_par(&scenario, 3, 10_000, &config(threads, dedup_capacity));
+            assert!(par.clean(), "{threads} threads: {:?}", par.violations);
+            assert_eq!(par.runs, seq.runs, "{threads} threads");
+            assert_eq!(par.worker_runs.iter().sum::<u64>(), par.runs);
+        }
+    }
+
+    let seq = explore_swarm(&scenario, 0..6, DEFAULT_SHRINK_BUDGET);
+    assert!(seq.clean());
+    for threads in [1, 2, 4] {
+        let par = explore_swarm_par(&scenario, 0..6, &config(threads, 0));
+        assert!(par.clean(), "{threads} threads: {:?}", par.violations);
+        assert_eq!(par.runs, seq.runs, "{threads} threads");
+    }
+}
