@@ -20,7 +20,7 @@ use crate::message::{MessageId, MessageInfo};
 use crate::runtime::{Delivery, RunReport};
 use gam_groups::{GroupId, GroupSystem};
 use gam_kernel::{Automaton, Envelope, FailurePattern, ProcessId, ProcessSet, StepCtx, Time};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// The naive multicast over one global atomic broadcast.
 ///
@@ -274,7 +274,7 @@ pub struct SkeenProcess {
     /// Pending messages at this destination: proposed or final timestamp.
     pending: BTreeMap<MessageId, SkeenState>,
     /// Sender-side collection: message → (group, replies, max ts).
-    collecting: HashMap<MessageId, (GroupId, ProcessSet, u64)>,
+    collecting: BTreeMap<MessageId, (GroupId, ProcessSet, u64)>,
     /// Outbox of multicasts to launch.
     outbox: Vec<(MessageId, GroupId)>,
 }
@@ -287,7 +287,7 @@ impl SkeenProcess {
             system: system.clone(),
             clock: 0,
             pending: BTreeMap::new(),
-            collecting: HashMap::new(),
+            collecting: BTreeMap::new(),
             outbox: Vec::new(),
         }
     }

@@ -29,7 +29,7 @@ use gam_objects::{
     Decided, FastLogFd, FastLogMsg, FastLogProcess, Log, OmegaSigma, PaxosMsg, PaxosProcess, Pos,
     SlotDecided,
 };
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// A command of a group's replicated state machine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,7 +75,7 @@ pub struct DistFd {
     /// `(Ω_g, Σ_g)` per group index.
     pub groups: Vec<OmegaSigma>,
     /// `Σ_{g∩h}` per intersecting pair (normalised).
-    pub pairs: HashMap<(GroupId, GroupId), Option<ProcessSet>>,
+    pub pairs: BTreeMap<(GroupId, GroupId), Option<ProcessSet>>,
     /// `γ(g)` per group index, at this process.
     pub gamma: Vec<GroupSet>,
 }
@@ -129,7 +129,7 @@ struct GroupView {
     /// How many instances have been folded so far.
     applied: u64,
     log: Log<Datum>,
-    cons: HashMap<(MessageId, GroupSet), u64>,
+    cons: BTreeMap<(MessageId, GroupSet), u64>,
     /// Commands waiting to be ordered.
     outbox: VecDeque<GroupCmd>,
     /// The instance at which the head command was last proposed.
@@ -142,7 +142,7 @@ impl GroupView {
             paxos: PaxosProcess::new(me, members),
             applied: 0,
             log: Log::new(),
-            cons: HashMap::new(),
+            cons: BTreeMap::new(),
             outbox: VecDeque::new(),
             inflight_at: None,
         }
@@ -168,10 +168,9 @@ impl GroupView {
                     self.log.append(d);
                 }
                 GroupCmd::BumpLock(m, k) => {
-                    // appended before bumped by the issuing saga's ordering
-                    if self.log.contains(&Datum::Msg(m)) {
-                        self.log.bump_and_lock(&Datum::Msg(m), Pos(k));
-                    }
+                    // appended before bumped by the issuing saga's ordering;
+                    // a stray bump for an absent datum is a harmless no-op
+                    let _ = self.log.try_bump_and_lock(&Datum::Msg(m), Pos(k));
                 }
                 GroupCmd::ConsPropose(m, f, k) => {
                     self.cons.entry((m, f)).or_insert(k);
@@ -231,9 +230,9 @@ impl PairView {
                     self.log.append(Datum::Msg(m));
                 }
                 Some(k) => {
-                    if self.log.contains(&Datum::Msg(m)) {
-                        self.log.bump_and_lock(&Datum::Msg(m), Pos(k));
-                    }
+                    // absent ⇒ no-op: the append command precedes the bump
+                    // in every saga, but a crashed saga may leave a tail
+                    let _ = self.log.try_bump_and_lock(&Datum::Msg(m), Pos(k));
                 }
             }
         }
@@ -278,7 +277,7 @@ pub struct DistProcess {
     my_groups: GroupSet,
     groups: BTreeMap<GroupId, GroupView>,
     pairs: BTreeMap<(GroupId, GroupId), PairView>,
-    phase: HashMap<MessageId, Phase>,
+    phase: BTreeMap<MessageId, Phase>,
     delivered: Vec<MessageId>,
     /// Submitted multicast requests this process knows of: the client layer
     /// broadcast (`L_g` is approximated by gossiping submissions, then the
@@ -326,7 +325,7 @@ impl DistProcess {
             my_groups,
             groups,
             pairs,
-            phase: HashMap::new(),
+            phase: BTreeMap::new(),
             delivered: Vec::new(),
             known: BTreeMap::new(),
             saga: None,
@@ -610,7 +609,10 @@ impl Automaton for DistProcess {
                 .iter()
                 .position(|(g2, _)| *g2 == g)
                 .map(|i| group_inputs.swap_remove(i).1);
-            let view = self.groups.get_mut(&g).expect("view exists");
+            let view = self
+                .groups
+                .get_mut(&g)
+                .expect("key was drawn from groups.keys(); views are never removed");
             view.drive();
             let mut sub: StepCtx<PaxosMsg<GroupCmd>, Decided<GroupCmd>> =
                 StepCtx::detached(me, ctx.now());
@@ -629,7 +631,10 @@ impl Automaton for DistProcess {
                 .iter()
                 .position(|(k, _)| *k == key)
                 .map(|i| pair_inputs.swap_remove(i).1);
-            let view = self.pairs.get_mut(&key).expect("view exists");
+            let view = self
+                .pairs
+                .get_mut(&key)
+                .expect("key was drawn from pairs.keys(); views are never removed");
             let flfd = FastLogFd {
                 inter_quorum: fd.pairs.get(&key).copied().flatten(),
                 leader: fd.groups[key.0.index()].leader,
@@ -677,10 +682,18 @@ impl Automaton for DistProcess {
                     saga.issued = true;
                     match op {
                         Op::Group(g, cmd) => {
-                            self.groups.get_mut(&g).expect("view").outbox.push_back(cmd);
+                            self.groups
+                                .get_mut(&g)
+                                .expect("sagas only target groups this process hosts")
+                                .outbox
+                                .push_back(cmd);
                         }
                         Op::Pair(g, h, cmd) => {
-                            self.pairs.get_mut(&(g, h)).expect("view").fl.append(cmd);
+                            self.pairs
+                                .get_mut(&(g, h))
+                                .expect("sagas only target pairs this process hosts")
+                                .fl
+                                .append(cmd);
                         }
                         Op::ReadPairPos(..) => {}
                     }

@@ -28,7 +28,7 @@ use gam_kernel::{FailurePattern, ProcessId, ProcessSet, RunOutcome, ScheduleSour
 use gam_objects::{Consensus, Log, Pos};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Which variation of atomic multicast the runtime solves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -153,19 +153,19 @@ pub struct Runtime {
     system: GroupSystem,
     pattern: FailurePattern,
     mu: MuOracle,
-    indicators: HashMap<(GroupId, GroupId), IndicatorOracle>,
+    indicators: BTreeMap<(GroupId, GroupId), IndicatorOracle>,
     variant: Variant,
     scheduler: ActionScheduler,
     now: Time,
     // Shared objects.
-    logs: HashMap<(GroupId, GroupId), Log<Datum>>,
-    cons: HashMap<(MessageId, GroupSet), Consensus<u64>>,
+    logs: BTreeMap<(GroupId, GroupId), Log<Datum>>,
+    cons: BTreeMap<(MessageId, GroupSet), Consensus<u64>>,
     lists: Vec<Vec<MessageId>>,
     // Message metadata.
     messages: Vec<MessageInfo>,
     multicast_at: Vec<Time>,
     // Per-process state.
-    phase: Vec<HashMap<MessageId, Phase>>,
+    phase: Vec<BTreeMap<MessageId, Phase>>,
     delivered: Vec<Vec<Delivery>>,
     actions_of: Vec<u64>,
     rr_cursor: usize,
@@ -177,7 +177,7 @@ impl Runtime {
     pub fn new(system: &GroupSystem, pattern: FailurePattern, config: RuntimeConfig) -> Self {
         let n = system.universe().max().map_or(0, |p| p.index() + 1);
         let mu = MuOracle::new(system, pattern.clone(), config.mu);
-        let mut indicators = HashMap::new();
+        let mut indicators = BTreeMap::new();
         if config.variant == Variant::Strict {
             for (g, h) in system.intersecting_pairs() {
                 indicators.insert(
@@ -192,7 +192,7 @@ impl Runtime {
                 );
             }
         }
-        let mut logs = HashMap::new();
+        let mut logs = BTreeMap::new();
         for (g, _) in system.iter() {
             logs.insert((g, g), Log::new());
         }
@@ -208,11 +208,11 @@ impl Runtime {
             scheduler: config.scheduler,
             now: Time::ZERO,
             logs,
-            cons: HashMap::new(),
+            cons: BTreeMap::new(),
             lists: vec![Vec::new(); system.len()],
             messages: Vec::new(),
             multicast_at: Vec::new(),
-            phase: vec![HashMap::new(); n],
+            phase: vec![BTreeMap::new(); n],
             delivered: vec![Vec::new(); n],
             actions_of: vec![0; n],
             rr_cursor: 0,
@@ -249,7 +249,9 @@ impl Runtime {
 
     fn log_mut(&mut self, g: GroupId, h: GroupId) -> &mut Log<Datum> {
         let key = self.log_key(g, h);
-        self.logs.get_mut(&key).expect("log exists")
+        self.logs
+            .get_mut(&key)
+            .expect("LOG_{g∩h} is created for every intersecting pair at init")
     }
 
     fn phase_of(&self, p: ProcessId, m: MessageId) -> Phase {
@@ -562,7 +564,11 @@ impl Runtime {
                         let idx = (self.rr_cursor + off) % n;
                         if let Some((p, acts)) = candidates.iter().find(|(p, _)| p.index() == idx) {
                             self.rr_cursor = (idx + 1) % n;
-                            chosen = Some((*p, *acts.iter().min().expect("non-empty")));
+                            let least = *acts
+                                .iter()
+                                .min()
+                                .expect("candidate lists only hold processes with enabled actions");
+                            chosen = Some((*p, least));
                             break;
                         }
                     }
@@ -698,24 +704,22 @@ impl Runtime {
     /// Two runtimes over the same scenario emitting the same stream behave
     /// identically under any deterministic continuation — the detector
     /// oracles are pure functions of the (fixed) pattern and the clock, so
-    /// nothing behavioral lives outside this walk. Hash-map entries are
-    /// visited in sorted key order, making the stream independent of
-    /// insertion history; each variable-length section is length-prefixed so
-    /// the stream is prefix-free.
+    /// nothing behavioral lives outside this walk. Map entries are visited
+    /// in key order (every table here is a `BTreeMap` — gam-lint D001
+    /// enforces that), making the stream independent of insertion history;
+    /// each variable-length section is length-prefixed so the stream is
+    /// prefix-free.
     ///
     /// The engine folds this stream into the executor's state fingerprint,
     /// which the explorer's visited-set dedup prunes on.
     pub fn fold_state(&self, push: &mut impl FnMut(u64)) {
         push(self.now.0);
-        // Shared logs, by sorted (g, h) key.
-        let mut log_keys: Vec<&(GroupId, GroupId)> = self.logs.keys().collect();
-        log_keys.sort();
-        push(log_keys.len() as u64);
-        for key in log_keys {
+        // Shared logs, in (g, h) key order (BTreeMap iteration).
+        push(self.logs.len() as u64);
+        for (key, log) in &self.logs {
             let (g, h) = *key;
             push(u64::from(g.0));
             push(u64::from(h.0));
-            let log = &self.logs[key];
             push(log.len() as u64);
             for (d, pos, locked) in log.entries() {
                 match d {
@@ -739,16 +743,14 @@ impl Runtime {
                 push(u64::from(locked));
             }
         }
-        // Consensus objects, by sorted (m, 𝔣) key. The decision is the
+        // Consensus objects, in (m, 𝔣) key order. The decision is the
         // behavioral state; the proposal counter is bookkeeping.
-        let mut cons_keys: Vec<&(MessageId, GroupSet)> = self.cons.keys().collect();
-        cons_keys.sort();
-        push(cons_keys.len() as u64);
-        for key in cons_keys {
+        push(self.cons.len() as u64);
+        for (key, cons) in &self.cons {
             let (m, fam) = *key;
             push(m.0);
             push(fam.0);
-            push(self.cons[key].decision().map_or(0, |v| v + 1));
+            push(cons.decision().map_or(0, |v| v + 1));
         }
         // Group submission lists (append-only; constant within a run but
         // part of the machine nonetheless).
@@ -762,12 +764,10 @@ impl Runtime {
         // Per-process protocol state.
         push(self.phase.len() as u64);
         for table in &self.phase {
-            let mut ms: Vec<&MessageId> = table.keys().collect();
-            ms.sort();
-            push(ms.len() as u64);
-            for m in ms {
+            push(table.len() as u64);
+            for (m, phase) in table {
                 push(m.0);
-                push(table[m] as u64);
+                push(*phase as u64);
             }
         }
         for seq in &self.delivered {

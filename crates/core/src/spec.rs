@@ -339,15 +339,13 @@ pub fn check_group_sequential(report: &RunReport) -> Result<(), SpecViolation> {
             .collect();
         listed.sort_by_key(|m| report.multicast_at[m.0 as usize]);
         for p in report.system.members(gam_groups::GroupId(g as u32)) {
-            let seq: Vec<MessageId> = report
+            // `delivered_by(p)`, restricted to g's messages, must respect
+            // `listed` order — filter_map drops foreign messages and maps
+            // the rest to their L_g position in one pass.
+            let positions: Vec<usize> = report
                 .delivered_by(p)
                 .into_iter()
-                .filter(|m| listed.contains(m))
-                .collect();
-            // `seq` must be a prefix-order-respecting subsequence of `listed`
-            let positions: Vec<usize> = seq
-                .iter()
-                .map(|m| listed.iter().position(|x| x == m).expect("listed"))
+                .filter_map(|m| listed.iter().position(|x| *x == m))
                 .collect();
             if positions.windows(2).any(|w| w[0] > w[1]) {
                 return Err(SpecViolation {

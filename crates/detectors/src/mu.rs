@@ -12,7 +12,7 @@ use crate::omega::{OmegaMode, OmegaOracle};
 use crate::sigma::{SigmaMode, SigmaOracle};
 use gam_groups::{GroupId, GroupSet, GroupSystem};
 use gam_kernel::{FailurePattern, ProcessId, ProcessSet, Time};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Tuning of the constituent oracles of `μ`.
 #[derive(Debug, Clone, Copy, Default)]
@@ -47,7 +47,7 @@ pub struct MuConfig {
 pub struct MuOracle {
     system: GroupSystem,
     pattern: FailurePattern,
-    sigmas: HashMap<(GroupId, GroupId), SigmaOracle>,
+    sigmas: BTreeMap<(GroupId, GroupId), SigmaOracle>,
     omegas: Vec<OmegaOracle>,
     gamma: GammaOracle,
 }
@@ -55,7 +55,7 @@ pub struct MuOracle {
 impl MuOracle {
     /// Builds the candidate oracle for a group system and failure pattern.
     pub fn new(system: &GroupSystem, pattern: FailurePattern, config: MuConfig) -> Self {
-        let mut sigmas = HashMap::new();
+        let mut sigmas = BTreeMap::new();
         for (g, _) in system.iter() {
             // Σ_{g∩g} = Σ_g
             sigmas.insert(

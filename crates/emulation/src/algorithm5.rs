@@ -171,7 +171,7 @@ pub fn sample_dag<Fd>(
     mut detector: impl FnMut(ProcessId, Time) -> Fd,
 ) -> Vec<Sample<Fd>> {
     let mut out = Vec::new();
-    let mut counters = std::collections::HashMap::new();
+    let mut counters = std::collections::BTreeMap::new();
     for t in 0..horizon {
         for p in scope {
             if pattern.is_crashed(p, Time(t)) {
@@ -283,7 +283,7 @@ impl<P: SimProcess> SimulationTree<P> {
             return tag;
         }
         // Continue with the remaining samples in order, FIFO reception.
-        let consumed: std::collections::HashSet<usize> =
+        let consumed: std::collections::BTreeSet<usize> =
             schedule.iter().map(|(si, _)| *si).collect();
         let mut used = 0usize;
         for (si, s) in self.samples.iter().enumerate() {
@@ -317,16 +317,14 @@ impl<P: SimProcess> SimulationTree<P> {
         // scheduling-driven valency lives) and on the detector sample
         // (where *fork* gadgets live: the same `(p, m)` step with two
         // different values of `d`).
-        let mut next_of: std::collections::HashMap<ProcessId, Vec<usize>> = Default::default();
+        let mut next_of: std::collections::BTreeMap<ProcessId, Vec<usize>> = Default::default();
         for (si, s) in self.samples.iter().enumerate().skip(sample_from) {
             let v = next_of.entry(s.p).or_default();
             if v.len() < 2 {
                 v.push(si);
             }
         }
-        let mut ids: Vec<_> = next_of.into_iter().collect();
-        ids.sort_by_key(|(p, _)| *p);
-        for (p, sis) in ids {
+        for (p, sis) in next_of {
             let choices: Vec<Option<usize>> = (0..cfg.pending(p))
                 .map(Some)
                 .chain(std::iter::once(None))

@@ -1,0 +1,518 @@
+//! The lint families.
+//!
+//! | id   | default | fires on                                              |
+//! |------|---------|-------------------------------------------------------|
+//! | D001 | error   | `HashMap`/`HashSet` in deterministic crates           |
+//! | D002 | error   | wall-clock / entropy sources in deterministic crates  |
+//! | D003 | warn    | `unwrap()`, `panic!`, undocumented `expect()` in protocol code |
+//! | P001 | error   | `Executor` impl without a compile-time `Send` assert  |
+//! | P002 | error   | floating-point arithmetic in digest/fingerprint code  |
+//! | S001 | error   | `gam-lint: allow(...)` without a `reason`             |
+//! | S002 | warn    | a reasoned allow that silences nothing                |
+//!
+//! D-lints guard the model assumption every result in this repository rests
+//! on: executors are *deterministic functions of the schedule*, the same
+//! quantification the paper's proofs use. P-lints pin protocol-layer
+//! invariants the type system cannot express. S-lints keep the suppression
+//! mechanism honest. See `LINTS.md` for the full catalogue with examples.
+
+use crate::config::Config;
+use crate::pass::FileCtx;
+use crate::report::{Diagnostic, Severity};
+use crate::tokenizer::TokenKind;
+use std::collections::BTreeSet;
+
+/// Descriptor of one lint: id, default severity, one-line rationale.
+pub struct LintInfo {
+    /// The stable lint id.
+    pub id: &'static str,
+    /// Severity before config overrides.
+    pub default_severity: Severity,
+    /// What the lint protects.
+    pub summary: &'static str,
+}
+
+/// The catalogue, in report order.
+pub const LINTS: &[LintInfo] = &[
+    LintInfo {
+        id: "D001",
+        default_severity: Severity::Error,
+        summary: "unordered collection in a deterministic crate",
+    },
+    LintInfo {
+        id: "D002",
+        default_severity: Severity::Error,
+        summary: "wall-clock or entropy source in a deterministic crate",
+    },
+    LintInfo {
+        id: "D003",
+        default_severity: Severity::Warn,
+        summary: "panic path in protocol state-transition code",
+    },
+    LintInfo {
+        id: "P001",
+        default_severity: Severity::Error,
+        summary: "Executor impl without a compile-time Send assertion",
+    },
+    LintInfo {
+        id: "P002",
+        default_severity: Severity::Error,
+        summary: "floating-point arithmetic in digest/fingerprint code",
+    },
+    LintInfo {
+        id: "S001",
+        default_severity: Severity::Error,
+        summary: "suppression without a reason",
+    },
+    LintInfo {
+        id: "S002",
+        default_severity: Severity::Warn,
+        summary: "suppression that silences nothing",
+    },
+];
+
+fn severity_of(config: &Config, id: &str) -> Severity {
+    let default = LINTS
+        .iter()
+        .find(|l| l.id == id)
+        .map_or(Severity::Error, |l| l.default_severity);
+    config.severity_of(id, default)
+}
+
+/// Emits `diag` unless a reasoned inline allow covers it or the configured
+/// severity is `allow`.
+fn emit(
+    ctx: &mut FileCtx,
+    config: &Config,
+    out: &mut Vec<Diagnostic>,
+    id: &'static str,
+    line: u32,
+    message: String,
+    suggestion: Option<String>,
+) {
+    if ctx.suppress(id, line) {
+        return;
+    }
+    let severity = severity_of(config, id);
+    if severity == Severity::Allow {
+        return;
+    }
+    out.push(Diagnostic {
+        file: ctx.path.clone(),
+        line,
+        id,
+        severity,
+        message,
+        suggestion,
+    });
+}
+
+/// Runs every per-file lint on `ctx`.
+pub fn run_file_lints(ctx: &mut FileCtx, config: &Config, out: &mut Vec<Diagnostic>) {
+    if config.is_deterministic(&ctx.path) {
+        d001_unordered_collections(ctx, config, out);
+        d002_clock_and_entropy(ctx, config, out);
+    }
+    if config.is_protocol(&ctx.path) {
+        d003_panic_paths(ctx, config, out);
+    }
+    if config.is_digest(&ctx.path) {
+        p002_floats_in_digest(ctx, config, out);
+    }
+}
+
+/// Emits the suppression-hygiene findings (S001/S002). Call after every
+/// other lint — including the global P001 pass — has had the chance to
+/// consume the file's allows.
+pub fn run_suppression_lints(ctx: &mut FileCtx, config: &Config, out: &mut Vec<Diagnostic>) {
+    // S-lints are not themselves suppressible: push directly.
+    for allow in ctx.allows.clone() {
+        if allow.reason.is_none() {
+            let sev = severity_of(config, "S001");
+            if sev != Severity::Allow {
+                out.push(Diagnostic {
+                    file: ctx.path.clone(),
+                    line: allow.line,
+                    id: "S001",
+                    severity: sev,
+                    message: format!(
+                        "suppression of {:?} has no reason; `gam-lint: allow(ID, reason = \"…\")` requires one",
+                        allow.ids
+                    ),
+                    suggestion: Some("state why the finding provably cannot matter here".into()),
+                });
+            }
+        } else if !allow.used {
+            let sev = severity_of(config, "S002");
+            if sev != Severity::Allow {
+                out.push(Diagnostic {
+                    file: ctx.path.clone(),
+                    line: allow.line,
+                    id: "S002",
+                    severity: sev,
+                    message: format!(
+                        "suppression of {:?} silences no finding; remove the stale allow",
+                        allow.ids
+                    ),
+                    suggestion: None,
+                });
+            }
+        }
+    }
+}
+
+/// D001 — `HashMap`/`HashSet` in deterministic crates. Iteration order of
+/// the std hash tables depends on a per-process random seed, so any
+/// iteration (`iter`, `keys`, `values`, `into_iter`, `drain`, `for … in`)
+/// that reaches a digest, a fingerprint or a delivery decision breaks
+/// schedule-determinism across runs.
+fn d001_unordered_collections(ctx: &mut FileCtx, config: &Config, out: &mut Vec<Diagnostic>) {
+    let mut hits = Vec::new();
+    for &i in &ctx.code {
+        let t = &ctx.tokens[i];
+        if t.kind == TokenKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            if ctx.in_test_code(t.line) {
+                continue;
+            }
+            hits.push((t.line, t.text.clone()));
+        }
+    }
+    for (line, name) in hits {
+        let ordered = if name == "HashMap" {
+            "BTreeMap"
+        } else {
+            "BTreeSet"
+        };
+        emit(
+            ctx,
+            config,
+            out,
+            "D001",
+            line,
+            format!(
+                "`{name}` in a deterministic crate: its iteration order \
+                 (iter/keys/values/into_iter/drain) is seeded per process and can \
+                 leak into digests, fingerprints or delivery decisions"
+            ),
+            Some(format!(
+                "use `{ordered}` (or sort before iterating and add a reasoned allow)"
+            )),
+        );
+    }
+}
+
+/// D002 — wall-clock and entropy sources in deterministic crates. A
+/// `Instant::now()` or an OS-seeded RNG in a protocol path makes replays
+/// and cross-thread merges diverge even under identical schedules.
+fn d002_clock_and_entropy(ctx: &mut FileCtx, config: &Config, out: &mut Vec<Diagnostic>) {
+    const BANNED: &[(&str, &str)] = &[
+        ("Instant", "use the logical clock (`gam_kernel::Time`)"),
+        ("SystemTime", "use the logical clock (`gam_kernel::Time`)"),
+        ("UNIX_EPOCH", "use the logical clock (`gam_kernel::Time`)"),
+        ("thread_rng", "seed a `StdRng` from the scenario config"),
+        ("from_entropy", "seed a `StdRng` from the scenario config"),
+    ];
+    let mut hits = Vec::new();
+    for ci in 0..ctx.code.len() {
+        let t = ctx.code_token(ci);
+        if t.kind != TokenKind::Ident || ctx.in_test_code(t.line) {
+            continue;
+        }
+        if let Some((name, fix)) = BANNED.iter().find(|(b, _)| t.text == *b) {
+            hits.push((t.line, (*name).to_string(), *fix));
+            continue;
+        }
+        // The `std::time` path itself (imports included).
+        if t.text == "std"
+            && ci + 3 < ctx.code.len()
+            && ctx.code_token(ci + 1).is_punct(':')
+            && ctx.code_token(ci + 2).is_punct(':')
+            && ctx.code_token(ci + 3).is_ident("time")
+        {
+            hits.push((t.line, "std::time".to_string(), "use the logical clock"));
+        }
+    }
+    for (line, name, fix) in hits {
+        emit(
+            ctx,
+            config,
+            out,
+            "D002",
+            line,
+            format!(
+                "`{name}` in a deterministic crate: wall-clock and entropy reads \
+                 make runs differ under identical schedules"
+            ),
+            Some(fix.to_string()),
+        );
+    }
+}
+
+/// Whether an `expect` message literal documents an invariant: long enough
+/// and multi-word, e.g. `"LOG_{{g∩h}} exists for every intersecting pair"`.
+fn documents_invariant(lit: &str) -> bool {
+    let inner = lit
+        .trim_start_matches('b')
+        .trim_start_matches('r')
+        .trim_matches('#')
+        .trim_matches('"');
+    inner.len() >= 12 && inner.contains(' ')
+}
+
+/// D003 — `unwrap()`, `panic!` and undocumented `expect()` in protocol
+/// state-transition code. A panic in a `pre:`/`eff:` block tears down the
+/// whole simulation instead of surfacing a checkable spec violation, so
+/// each panic path must either become an error path or carry a message
+/// documenting why the invariant cannot fail.
+fn d003_panic_paths(ctx: &mut FileCtx, config: &Config, out: &mut Vec<Diagnostic>) {
+    let mut hits = Vec::new();
+    for ci in 0..ctx.code.len() {
+        let t = ctx.code_token(ci);
+        if t.kind != TokenKind::Ident || ctx.in_test_code(t.line) {
+            continue;
+        }
+        let after_dot = ci > 0 && ctx.code_token(ci - 1).is_punct('.');
+        let called = ci + 1 < ctx.code.len() && ctx.code_token(ci + 1).is_punct('(');
+        match t.text.as_str() {
+            "unwrap" if after_dot && called => {
+                hits.push((t.line, "`unwrap()` panics without context".to_string()));
+            }
+            "panic" if ci + 1 < ctx.code.len() && ctx.code_token(ci + 1).is_punct('!') => {
+                hits.push((
+                    t.line,
+                    "`panic!` tears down the simulation instead of reporting a violation"
+                        .to_string(),
+                ));
+            }
+            "expect" if after_dot && called => {
+                let arg = (ci + 2 < ctx.code.len()).then(|| ctx.code_token(ci + 2));
+                let documented =
+                    arg.is_some_and(|a| a.kind == TokenKind::Str && documents_invariant(&a.text));
+                if !documented {
+                    hits.push((
+                        t.line,
+                        "`expect()` message does not document the invariant (needs ≥ 12 \
+                         chars, multi-word)"
+                            .to_string(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    for (line, what) in hits {
+        emit(
+            ctx,
+            config,
+            out,
+            "D003",
+            line,
+            format!("panic path in protocol code: {what}"),
+            Some(
+                "return a Result/Option, or document why the invariant holds in the \
+                 expect() message"
+                    .into(),
+            ),
+        );
+    }
+}
+
+/// P002 — floating-point arithmetic in digest/fingerprint code. Float
+/// rounding is not associative and NaN breaks totality, so a float anywhere
+/// near a digest makes "byte-identical" claims platform-dependent.
+fn p002_floats_in_digest(ctx: &mut FileCtx, config: &Config, out: &mut Vec<Diagnostic>) {
+    let mut hits = Vec::new();
+    for &i in &ctx.code {
+        let t = &ctx.tokens[i];
+        if ctx.in_test_code(t.line) {
+            continue;
+        }
+        let is_float_type = t.kind == TokenKind::Ident && (t.text == "f32" || t.text == "f64");
+        let is_float_lit = t.kind == TokenKind::Number
+            && (t.text.contains('.') || t.text.ends_with("f32") || t.text.ends_with("f64"));
+        if is_float_type || is_float_lit {
+            hits.push((t.line, t.text.clone()));
+        }
+    }
+    for (line, text) in hits {
+        emit(
+            ctx,
+            config,
+            out,
+            "P002",
+            line,
+            format!(
+                "floating point (`{text}`) in digest/fingerprint code: rounding is \
+                 platform- and order-sensitive, breaking byte-identical replays"
+            ),
+            Some("keep digest arithmetic in u64 (scale fixed-point if a ratio is needed)".into()),
+        );
+    }
+}
+
+/// One `impl … Executor for Target` site found by the global P001 pass.
+#[derive(Debug)]
+struct ImplSite {
+    /// Index of the owning [`FileCtx`] in the scan set.
+    file_idx: usize,
+    line: u32,
+    target: String,
+}
+
+/// The cross-file state of P001 — every `Executor` impl must be covered by
+/// a compile-time `assert_send::<…>` somewhere in the scanned set, because
+/// the parallel explorers move one executor per worker across threads; an
+/// uncovered impl compiles fine until the first `--threads N` run melts
+/// down at a distance.
+#[derive(Debug, Default)]
+pub struct SendAssertPass {
+    impls: Vec<ImplSite>,
+    asserted: BTreeSet<String>,
+}
+
+impl SendAssertPass {
+    /// Collects `Executor` impls and `assert_send` targets from one file.
+    pub fn collect(&mut self, file_idx: usize, ctx: &FileCtx) {
+        let n = ctx.code.len();
+        let mut ci = 0usize;
+        while ci < n {
+            let t = ctx.code_token(ci);
+            if t.is_ident("impl") {
+                if let Some((site, next)) = parse_executor_impl(ctx, ci) {
+                    if let Some((line, target)) = site {
+                        self.impls.push(ImplSite {
+                            file_idx,
+                            line,
+                            target,
+                        });
+                    }
+                    ci = next;
+                    continue;
+                }
+            }
+            if t.is_ident("assert_send")
+                && ci + 3 < n
+                && ctx.code_token(ci + 1).is_punct(':')
+                && ctx.code_token(ci + 2).is_punct(':')
+                && ctx.code_token(ci + 3).is_punct('<')
+            {
+                let mut depth = 1i32;
+                let mut j = ci + 4;
+                while j < n && depth > 0 {
+                    let a = ctx.code_token(j);
+                    if a.is_punct('<') {
+                        depth += 1;
+                    } else if a.is_punct('>') && !(j > 0 && ctx.code_token(j - 1).is_punct('-')) {
+                        depth -= 1;
+                    } else if a.kind == TokenKind::Ident {
+                        self.asserted.insert(a.text.clone());
+                    }
+                    j += 1;
+                }
+                ci = j;
+                continue;
+            }
+            ci += 1;
+        }
+    }
+
+    /// Emits a P001 diagnostic for every uncovered impl.
+    pub fn finalize(self, ctxs: &mut [FileCtx], config: &Config, out: &mut Vec<Diagnostic>) {
+        for site in self.impls {
+            if self.asserted.contains(&site.target) {
+                continue;
+            }
+            let ctx = &mut ctxs[site.file_idx];
+            emit(
+                ctx,
+                config,
+                out,
+                "P001",
+                site.line,
+                format!(
+                    "`impl Executor for {}` has no compile-time Send assertion: parallel \
+                     explorers move executors across worker threads",
+                    site.target
+                ),
+                Some(format!(
+                    "add `const _: () = {{ const fn assert_send<T: Send>() {{}} \
+                     assert_send::<{}>(); }};`",
+                    site.target
+                )),
+            );
+        }
+    }
+}
+
+/// Parses an `impl` item header starting at code index `ci`. Returns
+/// `Some((executor_site, resume_index))` where `executor_site` is
+/// `Some((line, target))` when the header is `impl … Executor for Target`
+/// with a non-generic target. Returns `None` when the header is not an
+/// `Executor`-trait impl (inherent impls, other traits).
+fn parse_executor_impl(ctx: &FileCtx, ci: usize) -> Option<(Option<(u32, String)>, usize)> {
+    let n = ctx.code.len();
+    let impl_line = ctx.code_token(ci).line;
+    let mut j = ci + 1;
+    let mut generics: BTreeSet<String> = BTreeSet::new();
+    // Optional generic parameter list.
+    if j < n && ctx.code_token(j).is_punct('<') {
+        let mut depth = 1i32;
+        let mut expecting_param = true;
+        j += 1;
+        while j < n && depth > 0 {
+            let a = ctx.code_token(j);
+            if a.is_punct('<') {
+                depth += 1;
+            } else if a.is_punct('>') && !ctx.code_token(j - 1).is_punct('-') {
+                depth -= 1;
+            } else if a.is_punct(',') && depth == 1 {
+                expecting_param = true;
+            } else if a.kind == TokenKind::Ident && expecting_param && depth == 1 {
+                generics.insert(a.text.clone());
+                expecting_param = false;
+            }
+            j += 1;
+        }
+    }
+    // Trait path (or self type for inherent impls), up to `for` / `{`.
+    let mut last_ident: Option<String> = None;
+    let mut depth = 0i32;
+    while j < n {
+        let a = ctx.code_token(j);
+        if a.is_punct('<') {
+            depth += 1;
+        } else if a.is_punct('>') && !ctx.code_token(j - 1).is_punct('-') {
+            depth -= 1;
+        } else if depth == 0 {
+            if a.is_punct('{') || a.is_punct(';') {
+                // Inherent impl — not a trait impl at all.
+                return None;
+            }
+            if a.is_ident("for") {
+                break;
+            }
+            if a.kind == TokenKind::Ident {
+                last_ident = Some(a.text.clone());
+            }
+        }
+        j += 1;
+    }
+    if j >= n || last_ident.as_deref() != Some("Executor") {
+        return None;
+    }
+    // Target: skip `&`/`mut`, take the first ident.
+    j += 1;
+    while j < n && (ctx.code_token(j).is_punct('&') || ctx.code_token(j).is_ident("mut")) {
+        j += 1;
+    }
+    if j >= n || ctx.code_token(j).kind != TokenKind::Ident {
+        return Some((None, j));
+    }
+    let target = ctx.code_token(j).text.clone();
+    if generics.contains(&target) {
+        // Blanket impl over a type parameter (e.g. `impl<E: Executor>
+        // Executor for &mut E`): Send-ness is the concrete type's concern.
+        return Some((None, j + 1));
+    }
+    Some((Some((impl_line, target)), j + 1))
+}

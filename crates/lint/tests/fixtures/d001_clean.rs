@@ -1,0 +1,9 @@
+// golden: ordered collections only; "HashMap" in strings/comments is inert
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Table {
+    by_id: BTreeMap<u64, String>,
+    seen: BTreeSet<u64>,
+}
+
+pub const NOTE: &str = "a HashMap would be wrong here";

@@ -1,0 +1,13 @@
+// golden: D001 fires 3x (use line 2, HashMap line 5, HashSet line 6), never in tests
+use std::collections::HashMap;
+
+pub struct Table {
+    by_id: HashMap<u64, String>,
+    seen: std::collections::HashSet<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    // test scaffolding may hash freely — no finding here
+    use std::collections::HashMap;
+}

@@ -1,0 +1,8 @@
+// golden: both findings suppressed with a reason; zero diagnostics
+pub struct Cache {
+    // gam-lint: allow(D001, reason = "drained through a sorted Vec before any observable iteration")
+    hot: std::collections::HashMap<u64, u64>,
+}
+
+// gam-lint: allow(D001, reason = "membership-only; never iterated")
+pub type Seen = std::collections::HashSet<u64>;

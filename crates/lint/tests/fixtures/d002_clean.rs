@@ -1,0 +1,7 @@
+// golden: logical time and seeded randomness only; zero diagnostics
+pub fn stamp(now: u64) -> u64 {
+    now + 1
+}
+pub fn roll(seed: u64) -> u64 {
+    seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+}

@@ -1,0 +1,10 @@
+// golden: D002 fires 5x — std::time + Instant (line 3), std::time (4),
+// Instant (5), thread_rng (8)
+use std::time::Instant;
+pub fn stamp() -> std::time::Duration {
+    Instant::now().elapsed()
+}
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

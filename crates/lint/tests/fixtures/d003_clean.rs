@@ -1,0 +1,14 @@
+// golden: error paths and documented invariants only; zero diagnostics
+pub fn take(v: Option<u64>) -> Result<u64, &'static str> {
+    v.ok_or("slot missing")
+}
+pub fn documented(v: Option<u64>) -> u64 {
+    v.expect("the caller inserted the slot on the previous line")
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn in_tests_unwrap_is_fine(v: Option<u64>) -> u64 {
+        v.unwrap()
+    }
+}

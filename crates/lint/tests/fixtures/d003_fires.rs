@@ -1,0 +1,14 @@
+// golden: D003 fires on unwrap (4), short expect (7), panic! (10);
+// the documented expect on line 13 is clean
+pub fn take(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+pub fn short(v: Option<u64>) -> u64 {
+    v.expect("present")
+}
+pub fn boom() {
+    panic!("unreachable");
+}
+pub fn documented(v: Option<u64>) -> u64 {
+    v.expect("slot ids are drawn from the log keys and never removed")
+}

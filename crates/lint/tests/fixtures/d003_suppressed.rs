@@ -1,0 +1,5 @@
+// golden: the panic path carries a reasoned allow; zero diagnostics
+pub fn take(v: Option<u64>) -> u64 {
+    // gam-lint: allow(D003, reason = "caller is the test harness; a panic is the report")
+    v.unwrap()
+}

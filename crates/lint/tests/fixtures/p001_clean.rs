@@ -1,0 +1,20 @@
+// golden: zero diagnostics — the generic impl carries its Send assertion,
+// and the blanket impl over a type parameter is exempt by design
+pub struct CoveredExecutor<H> {
+    history: H,
+}
+
+impl<H: Clone> Executor for CoveredExecutor<H> {
+    fn step(&mut self) {}
+}
+
+impl<E: Executor + ?Sized> Executor for &mut E {
+    fn step(&mut self) {
+        (**self).step()
+    }
+}
+
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<CoveredExecutor<u64>>();
+};

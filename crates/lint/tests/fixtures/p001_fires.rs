@@ -1,0 +1,6 @@
+// golden: P001 fires — an Executor impl with no assert_send for its target
+pub struct LoneExecutor;
+
+impl Executor for LoneExecutor {
+    fn step(&mut self) {}
+}

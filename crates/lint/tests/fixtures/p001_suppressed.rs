@@ -1,0 +1,7 @@
+// golden: the uncovered impl carries a reasoned allow; zero diagnostics
+pub struct PinnedExecutor;
+
+// gam-lint: allow(P001, reason = "deliberately !Send; only driven single-threaded in examples")
+impl Executor for PinnedExecutor {
+    fn step(&mut self) {}
+}

@@ -1,0 +1,5 @@
+// golden: integer arithmetic only; zero diagnostics
+pub fn mix(h: u64) -> u64 {
+    // golden-ratio constant in fixed point, not 0.618... as a float
+    h.wrapping_mul(0x9E3779B97F4A7C15)
+}

@@ -1,0 +1,6 @@
+// golden: P002 fires on the f64 type (3) and the float literal (4)
+pub fn mix(h: u64) -> u64 {
+    let scale = h as f64;
+    let biased = scale * 0.6180339887;
+    biased as u64
+}

@@ -1,0 +1,205 @@
+//! Golden-file tests: every lint family has a fixture that fires, a
+//! fixture whose findings are suppressed with a reason, and a clean
+//! fixture. Fixtures live in `tests/fixtures/` (excluded from the repo
+//! self-scan by `gam-lint.toml`) and are fed through [`scan_sources`] under
+//! a pseudo-path that puts them in the lint's scope.
+
+use gam_lint::config::Config;
+use gam_lint::report::Report;
+use gam_lint::scan_sources;
+
+/// Reads a fixture and scans it as if it lived at `as_path`.
+fn scan_fixture(name: &str, as_path: &str, config: &Config) -> Report {
+    let file = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&file).unwrap_or_else(|e| panic!("{file}: {e}"));
+    scan_sources(vec![(as_path.to_string(), src)], config)
+}
+
+/// The scoping used by the golden tests: one deterministic crate, one
+/// protocol dir, one digest file.
+fn config() -> Config {
+    Config {
+        deterministic: vec!["crates/core".into()],
+        protocol: vec!["crates/core/src".into()],
+        digest: vec!["crates/core/src/digest.rs".into()],
+        ..Config::default()
+    }
+}
+
+/// The `(id, line)` pairs of a report, for exact golden comparison.
+fn findings(r: &Report) -> Vec<(&'static str, u32)> {
+    r.diagnostics.iter().map(|d| (d.id, d.line)).collect()
+}
+
+const DET: &str = "crates/core/src/golden.rs";
+const DIGEST: &str = "crates/core/src/digest.rs";
+// Outside every scope: only the S-lints and P001 can fire here.
+const ELSEWHERE: &str = "crates/bench/src/golden.rs";
+
+#[test]
+fn d001_fires_suppresses_and_passes() {
+    let cfg = config();
+    let fired = scan_fixture("d001_fires.rs", DET, &cfg);
+    assert_eq!(
+        findings(&fired),
+        vec![("D001", 2), ("D001", 5), ("D001", 6)],
+        "{}",
+        fired.to_text()
+    );
+    let suppressed = scan_fixture("d001_suppressed.rs", DET, &cfg);
+    assert_eq!(findings(&suppressed), vec![], "{}", suppressed.to_text());
+    assert_eq!(
+        suppressed.suppressions.len(),
+        2,
+        "both allows must be honoured"
+    );
+    let clean = scan_fixture("d001_clean.rs", DET, &cfg);
+    assert_eq!(findings(&clean), vec![], "{}", clean.to_text());
+    // Out of scope, the same hashing code is fine (bench may hash freely).
+    let out_of_scope = scan_fixture("d001_fires.rs", ELSEWHERE, &cfg);
+    assert_eq!(
+        findings(&out_of_scope),
+        vec![],
+        "{}",
+        out_of_scope.to_text()
+    );
+}
+
+#[test]
+fn d002_fires_suppresses_and_passes() {
+    let cfg = config();
+    let fired = scan_fixture("d002_fires.rs", DET, &cfg);
+    assert_eq!(
+        findings(&fired),
+        vec![
+            ("D002", 3),
+            ("D002", 3),
+            ("D002", 4),
+            ("D002", 5),
+            ("D002", 8)
+        ],
+        "{}",
+        fired.to_text()
+    );
+    let suppressed = scan_fixture("d002_suppressed.rs", DET, &cfg);
+    assert_eq!(findings(&suppressed), vec![], "{}", suppressed.to_text());
+    let clean = scan_fixture("d002_clean.rs", DET, &cfg);
+    assert_eq!(findings(&clean), vec![], "{}", clean.to_text());
+}
+
+#[test]
+fn d003_fires_suppresses_and_passes() {
+    let cfg = config();
+    let fired = scan_fixture("d003_fires.rs", DET, &cfg);
+    assert_eq!(
+        findings(&fired),
+        vec![("D003", 4), ("D003", 7), ("D003", 10)],
+        "{}",
+        fired.to_text()
+    );
+    // D003 defaults to warn: it fails only under --deny-warnings.
+    assert!(!fired.failed(false));
+    assert!(fired.failed(true));
+    let suppressed = scan_fixture("d003_suppressed.rs", DET, &cfg);
+    assert_eq!(findings(&suppressed), vec![], "{}", suppressed.to_text());
+    let clean = scan_fixture("d003_clean.rs", DET, &cfg);
+    assert_eq!(findings(&clean), vec![], "{}", clean.to_text());
+}
+
+#[test]
+fn p001_fires_suppresses_and_passes() {
+    let cfg = config();
+    // P001 is cross-file and scope-free: an uncovered Executor impl is a
+    // finding wherever it lives.
+    let fired = scan_fixture("p001_fires.rs", ELSEWHERE, &cfg);
+    assert_eq!(findings(&fired), vec![("P001", 4)], "{}", fired.to_text());
+    let suppressed = scan_fixture("p001_suppressed.rs", ELSEWHERE, &cfg);
+    assert_eq!(findings(&suppressed), vec![], "{}", suppressed.to_text());
+    let clean = scan_fixture("p001_clean.rs", ELSEWHERE, &cfg);
+    assert_eq!(findings(&clean), vec![], "{}", clean.to_text());
+}
+
+#[test]
+fn p001_assert_in_another_file_covers_the_impl() {
+    let cfg = config();
+    let fixture = format!(
+        "{}/tests/fixtures/p001_fires.rs",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let src = std::fs::read_to_string(fixture).expect("fixture exists");
+    let assert_file = "const _: () = { const fn assert_send<T: Send>() {} \
+                       assert_send::<LoneExecutor>(); };\n";
+    let r = scan_sources(
+        vec![
+            ("crates/a/src/lib.rs".into(), src),
+            ("crates/b/src/lib.rs".into(), assert_file.into()),
+        ],
+        &cfg,
+    );
+    assert_eq!(findings(&r), vec![], "{}", r.to_text());
+}
+
+#[test]
+fn p002_fires_and_passes_only_in_digest_scope() {
+    let cfg = config();
+    let fired = scan_fixture("p002_fires.rs", DIGEST, &cfg);
+    assert_eq!(
+        findings(&fired),
+        vec![("P002", 3), ("P002", 4)],
+        "{}",
+        fired.to_text()
+    );
+    let clean = scan_fixture("p002_clean.rs", DIGEST, &cfg);
+    assert_eq!(findings(&clean), vec![], "{}", clean.to_text());
+    // The same float code outside digest scope is not P002's business.
+    let out_of_scope = scan_fixture("p002_fires.rs", ELSEWHERE, &cfg);
+    assert_eq!(
+        findings(&out_of_scope),
+        vec![],
+        "{}",
+        out_of_scope.to_text()
+    );
+}
+
+#[test]
+fn reasonless_suppression_is_a_diagnostic_and_suppresses_nothing() {
+    let cfg = config();
+    let r = scan_fixture("s001_reasonless.rs", DET, &cfg);
+    // The D001 it tried to silence still fires, plus the S001 itself.
+    assert_eq!(
+        findings(&r),
+        vec![("S001", 4), ("D001", 5)],
+        "{}",
+        r.to_text()
+    );
+    assert!(r.failed(false), "S001 is an error");
+    assert_eq!(
+        r.suppressions.len(),
+        0,
+        "a reasonless allow is never honoured"
+    );
+}
+
+#[test]
+fn unused_reasoned_suppression_warns() {
+    let cfg = config();
+    let src = "// gam-lint: allow(D001, reason = \"left over from a refactor\")\npub fn f() {}\n";
+    let r = scan_sources(vec![(DET.into(), src.into())], &cfg);
+    assert_eq!(findings(&r), vec![("S002", 1)], "{}", r.to_text());
+    assert!(!r.failed(false));
+    assert!(r.failed(true), "stale allows fail under --deny-warnings");
+}
+
+#[test]
+fn severity_overrides_apply() {
+    let mut cfg = config();
+    cfg.severity
+        .insert("D001".into(), gam_lint::report::Severity::Warn);
+    let fired = scan_fixture("d001_fires.rs", DET, &cfg);
+    assert_eq!(fired.errors(), 0);
+    assert_eq!(fired.warnings(), 3);
+    cfg.severity
+        .insert("D001".into(), gam_lint::report::Severity::Allow);
+    let off = scan_fixture("d001_fires.rs", DET, &cfg);
+    assert_eq!(findings(&off), vec![]);
+}

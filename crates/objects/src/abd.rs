@@ -113,7 +113,7 @@ enum Pending<V> {
 pub struct AbdProcess<V> {
     me: ProcessId,
     scope: ProcessSet,
-    replicas: std::collections::HashMap<RegisterId, (Stamp, Option<V>)>,
+    replicas: std::collections::BTreeMap<RegisterId, (Stamp, Option<V>)>,
     pending: Option<Pending<V>>,
     queued: std::collections::VecDeque<(RegisterId, Option<V>)>,
     next_tag: u64,

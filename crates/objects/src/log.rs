@@ -128,20 +128,25 @@ impl<D: Ord + Clone> Log<D> {
     ///
     /// # Panics
     ///
-    /// Panics if `d` is not in the log.
+    /// Panics if `d` is not in the log — protocol callers guard with
+    /// [`Log::contains`] or use [`Log::try_bump_and_lock`].
     pub fn bump_and_lock(&mut self, d: &D, k: Pos) -> Pos {
-        let e = self
-            .entries
-            .get_mut(d)
-            .expect("bumpAndLock requires the datum to be in the log");
+        self.try_bump_and_lock(d, k)
+            .expect("bumpAndLock requires the datum to be in the log")
+    }
+
+    /// Non-panicking [`Log::bump_and_lock`]: returns `None` when `d` is not
+    /// in the log, leaving the log unchanged.
+    pub fn try_bump_and_lock(&mut self, d: &D, k: Pos) -> Option<Pos> {
+        let e = self.entries.get_mut(d)?;
         if e.locked {
-            return Pos(e.slot);
+            return Some(Pos(e.slot));
         }
         e.slot = e.slot.max(k.0);
         e.locked = true;
         let slot = e.slot;
         self.max_slot = self.max_slot.max(slot);
-        Pos(slot)
+        Some(Pos(slot))
     }
 
     /// `d <_L d'`: `d` occupies a lower position, or the same slot with
@@ -296,7 +301,7 @@ mod tests {
         #[test]
         fn prop_positions_monotone(ops in proptest::collection::vec((0u8..2, 0u16..20, 1u64..30), 1..60)) {
             let mut log: Log<u16> = Log::new();
-            let mut last_pos: std::collections::HashMap<u16, u64> = Default::default();
+            let mut last_pos: std::collections::BTreeMap<u16, u64> = Default::default();
             for (op, d, k) in ops {
                 match op {
                     0 => { log.append(d); }

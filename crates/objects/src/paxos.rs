@@ -16,7 +16,7 @@
 
 use gam_detectors::{OmegaOracle, SigmaOracle};
 use gam_kernel::{Automaton, Envelope, History, ProcessId, ProcessSet, StepCtx, Time};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The combined `Ω ∧ Σ` sample consumed at each step.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -169,7 +169,7 @@ pub struct PaxosProcess<V> {
     me: ProcessId,
     scope: ProcessSet,
     n: u64,
-    instances: HashMap<u64, Instance<V>>,
+    instances: BTreeMap<u64, Instance<V>>,
 }
 
 impl<V: Clone + std::fmt::Debug + PartialEq> PaxosProcess<V> {
@@ -184,7 +184,7 @@ impl<V: Clone + std::fmt::Debug + PartialEq> PaxosProcess<V> {
             me,
             scope,
             n: scope.max().map_or(1, |p| p.0 as u64 + 1),
-            instances: HashMap::new(),
+            instances: BTreeMap::new(),
         }
     }
 
@@ -371,7 +371,10 @@ impl<V: Clone + std::fmt::Debug + PartialEq> Automaton for PaxosProcess<V> {
         for id in ids {
             let max_seen = self.instances[&id].max_ballot_seen;
             let fresh_ballot = self.next_ballot(max_seen);
-            let inst = self.instances.get_mut(&id).expect("present");
+            let inst = self
+                .instances
+                .get_mut(&id)
+                .expect("id was drawn from instances.keys(); instances are never removed");
             if inst.decided.is_some() || inst.proposal.is_none() {
                 continue;
             }

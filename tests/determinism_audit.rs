@@ -1,0 +1,106 @@
+//! The determinism audit: the property gam-lint exists to protect,
+//! asserted end-to-end.
+//!
+//! Every result in this repository — visited-set pruning, parallel-merge
+//! identity, replayable counterexamples — quantifies over executors that
+//! are *deterministic functions of the schedule*. This test pins that
+//! property directly: one fixed schedule, recorded once per substrate over
+//! the fig. 1 topology, replayed twice on fresh executors, must land on
+//! identical `state_digest`s, identical `state_fingerprint`s, and (through
+//! the `gam-repro v1` text format) byte-identical `Repro` serializations.
+//!
+//! If a `HashMap` iteration order or a wall-clock read ever leaks back into
+//! a deterministic crate (the regressions gam-lint D001/D002 catch
+//! statically), this test is the dynamic tripwire that fails.
+
+use gam_kernel::schedule::{ChoiceStep, RandomSource};
+use gam_kernel::RunOutcome;
+use genuine_multicast::engine::{self, Executor};
+use genuine_multicast::prelude::*;
+
+const MAX_STEPS: u64 = 2_000_000;
+const SEED: u64 = 0xDA17; // arbitrary fixed provenance seed
+
+/// Records one schedule on `exec` (driven by a seeded source), then replays
+/// it twice on executors produced by `fresh`, returning the recorded
+/// schedule and the `(digest, fingerprint)` of the recording and of each
+/// replay.
+fn record_and_replay_twice<E: Executor>(
+    mut exec: E,
+    fresh: impl Fn() -> E,
+) -> (Vec<ChoiceStep>, [(u64, u64); 3]) {
+    let (outcome, schedule) = engine::run_recorded(&mut exec, RandomSource::new(SEED), MAX_STEPS);
+    assert_eq!(
+        outcome,
+        RunOutcome::Quiescent,
+        "scenario must quiesce in budget"
+    );
+    let recorded = (exec.state_digest(), exec.state_fingerprint());
+
+    let mut replays = [recorded, recorded, recorded];
+    for slot in replays.iter_mut().skip(1) {
+        let mut again = fresh();
+        let outcome = engine::replay(&mut again, &schedule, MAX_STEPS);
+        assert_eq!(outcome, RunOutcome::Quiescent, "replay must quiesce too");
+        *slot = (again.state_digest(), again.state_fingerprint());
+    }
+    (schedule, replays)
+}
+
+fn audit_scenario() -> Scenario {
+    Scenario::one_per_group(&topology::fig1(), MAX_STEPS)
+}
+
+#[test]
+fn level_a_runtime_is_a_function_of_the_schedule() {
+    let scenario = audit_scenario();
+    let (_, replays) =
+        record_and_replay_twice(scenario.runtime_executor(), || scenario.runtime_executor());
+    assert_eq!(
+        replays[0], replays[1],
+        "replay 1 diverged from the recording"
+    );
+    assert_eq!(replays[1], replays[2], "replay 2 diverged from replay 1");
+}
+
+#[test]
+fn level_b_kernel_is_a_function_of_the_schedule() {
+    let scenario = audit_scenario();
+    let (_, replays) =
+        record_and_replay_twice(scenario.kernel_executor(), || scenario.kernel_executor());
+    assert_eq!(
+        replays[0], replays[1],
+        "replay 1 diverged from the recording"
+    );
+    assert_eq!(replays[1], replays[2], "replay 2 diverged from replay 1");
+}
+
+#[test]
+fn repro_serialization_is_byte_identical_across_replays() {
+    let scenario = audit_scenario();
+    let mut exec = scenario.runtime_executor();
+    let (outcome, schedule) = engine::run_recorded(&mut exec, RandomSource::new(SEED), MAX_STEPS);
+    assert_eq!(outcome, RunOutcome::Quiescent);
+
+    let repro = Repro {
+        scenario: scenario.clone(),
+        schedule,
+        seed: SEED,
+        property: None,
+    };
+    // The recorded schedule must replay clean, deterministically.
+    let h1 = repro.trace_hash();
+    let h2 = repro.trace_hash();
+    assert_eq!(h1, h2, "trace hash must not depend on the replay instance");
+    repro.verify().expect("fair fig. 1 run satisfies the spec");
+
+    // And its gam-repro v1 text must round-trip byte-for-byte.
+    let text = repro.to_text();
+    let parsed = Repro::parse(&text).expect("self-produced text parses");
+    assert_eq!(
+        parsed.to_text(),
+        text,
+        "gam-repro v1 round-trip changed bytes"
+    );
+    assert_eq!(parsed.trace_hash(), h1, "parsed repro replays differently");
+}
