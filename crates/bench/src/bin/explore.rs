@@ -5,17 +5,19 @@
 //!
 //! The exhaustive pass runs twice — the sequential reference loop and the
 //! parallel dedup-pruned engine — and asserts they agree on coverage, so
-//! the emitted record compares both paths like for like.
+//! the emitted record compares both paths like for like. `--engine dfs`
+//! (or `GAM_EXPLORE_ENGINE=dfs`) swaps both exhaustive passes for the
+//! snapshotting prefix-sharing engine; coverage must not change.
 //!
 //! Run with: `cargo run -p gam-bench --bin explore [-- quick]
-//!            [--threads N] [--shrink-budget N]`
+//!            [--threads N] [--shrink-budget N] [--engine odometer|dfs]`
 //! Output:   stdout summary + `target/experiments/explore.json`
 
 use gam_bench::json::{write_experiment, Json};
 use gam_explore::kernel::{replay_run, swarm_run};
 use gam_explore::{
-    explore_exhaustive, explore_exhaustive_par, explore_swarm_par, ExploreConfig, ExploreStats,
-    Scenario, DEFAULT_SHRINK_BUDGET,
+    explore_exhaustive, explore_exhaustive_dfs, explore_exhaustive_dfs_par, explore_exhaustive_par,
+    explore_swarm_par, ExploreConfig, ExploreStats, Scenario, DEFAULT_SHRINK_BUDGET,
 };
 use gam_groups::topology;
 
@@ -24,6 +26,22 @@ fn flag_value(args: &[String], name: &str) -> Option<u64> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
+}
+
+/// The exhaustive engine to run: `--engine` beats the `GAM_EXPLORE_ENGINE`
+/// environment variable beats the odometer default.
+fn engine_choice(args: &[String]) -> String {
+    let engine = args
+        .iter()
+        .position(|a| a == "--engine")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| std::env::var("GAM_EXPLORE_ENGINE").ok())
+        .unwrap_or_else(|| "odometer".to_string());
+    assert!(
+        engine == "odometer" || engine == "dfs",
+        "unknown engine {engine:?} (expected \"odometer\" or \"dfs\")"
+    );
+    engine
 }
 
 fn stats_row(mode: &str, topology: &str, stats: &ExploreStats, threads: usize) -> Json {
@@ -38,6 +56,12 @@ fn stats_row(mode: &str, topology: &str, stats: &ExploreStats, threads: usize) -
         (
             "dedup_hit_permille",
             Json::from((stats.dedup_hit_rate() * 1000.0).round() as u64),
+        ),
+        ("steps_executed", Json::from(stats.steps_executed)),
+        ("snapshots_taken", Json::from(stats.snapshots_taken)),
+        (
+            "steps_avoided_permille",
+            Json::from(stats.steps_avoided_permille()),
         ),
         (
             "worker_runs",
@@ -55,6 +79,8 @@ fn main() {
         ..ExploreConfig::default()
     };
     let threads = config.resolved_threads();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let engine = engine_choice(&args);
     // fig1 branches ~10 ways per level, so these depths exhaust the tree
     // well within the run caps (and within a CI smoke budget).
     let (depth, seeds, kernel_seeds) = if quick { (3, 16, 4) } else { (4, 64, 16) };
@@ -65,15 +91,27 @@ fn main() {
     let mut total_violations = 0usize;
 
     // ---- Exhaustive enumeration over the first choices of fig1 ----------
-    println!("exhaustive: fig1, first {depth} choices ({threads} threads)");
+    println!("exhaustive[{engine}]: fig1, first {depth} choices ({threads} threads)");
     let scenario = Scenario::one_per_group(&topology::fig1(), 200_000);
-    let seq = explore_exhaustive(&scenario, depth, run_cap, config.shrink_budget);
-    let par = explore_exhaustive_par(&scenario, depth, run_cap, &config);
+    let (seq, par) = if engine == "dfs" {
+        (
+            explore_exhaustive_dfs(&scenario, depth, run_cap, config.shrink_budget),
+            explore_exhaustive_dfs_par(&scenario, depth, run_cap, &config),
+        )
+    } else {
+        (
+            explore_exhaustive(&scenario, depth, run_cap, config.shrink_budget),
+            explore_exhaustive_par(&scenario, depth, run_cap, &config),
+        )
+    };
     println!(
-        "  sequential: {} runs, complete: {}, violations: {}",
+        "  sequential: {} runs, complete: {}, violations: {}, steps {} (avoided {}.{:01}%)",
         seq.runs,
         seq.complete(),
-        seq.violations.len()
+        seq.violations.len(),
+        seq.steps_executed,
+        seq.steps_avoided_permille() / 10,
+        seq.steps_avoided_permille() % 10,
     );
     println!(
         "  parallel:   {} runs, dedup hits: {} ({:.1}%), violations: {}",
@@ -151,7 +189,9 @@ fn main() {
 
     let record = Json::obj([
         ("quick", Json::from(quick)),
+        ("engine", Json::from(engine.as_str())),
         ("threads", Json::from(threads as u64)),
+        ("cores", Json::from(cores as u64)),
         ("shrink_budget", Json::from(config.shrink_budget)),
         ("total_runs", Json::from(total_runs)),
         ("total_violations", Json::from(total_violations)),

@@ -1,0 +1,192 @@
+//! The prefix-sharing benchmark behind `BENCH_explore_dfs.json`: the same
+//! bounded fig1 tree enumerated by the restart-from-scratch odometer engine
+//! and the snapshotting DFS engine, with and without dedup pruning.
+//!
+//! Four configurations per depth, all covering the identical leaf set
+//! (asserted):
+//!
+//! - `odometer-seq` — the sequential reference loop;
+//! - `odometer-dedup` — the parallel pool at one worker with the visited
+//!   set on (deterministic hit count);
+//! - `dfs-seq` — the snapshotting DFS, no dedup;
+//! - `dfs-dedup` — the DFS pool at one worker with the visited set on,
+//!   the configuration the engine ships with.
+//!
+//! The headline metric is substrate **steps executed** — deterministic,
+//! machine-independent, and exactly what prefix sharing reduces — with
+//! wall-clock reported alongside. The gate: `dfs-dedup` must execute at
+//! least 40% fewer steps than `odometer-seq` at the deepest measured
+//! depth, and the DFS accounting must close exactly
+//! (`steps_executed + steps_avoided = ` the matching odometer cost).
+//!
+//! Run with: `cargo run --release -p gam-bench --bin explore_dfs
+//!            [-- quick] [--depth N]`
+//! Output:   stdout table + `BENCH_explore_dfs.json` (repo root)
+
+use std::time::Instant;
+
+use gam_bench::json::{write_experiment, Json};
+use gam_explore::{
+    explore_exhaustive, explore_exhaustive_dfs, explore_exhaustive_dfs_par, explore_exhaustive_par,
+    ExploreConfig, ExploreStats, Scenario, DEFAULT_SHRINK_BUDGET,
+};
+use gam_groups::topology;
+
+fn flag_value(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn config(dedup_capacity: usize) -> ExploreConfig {
+    ExploreConfig {
+        threads: 1,
+        dedup_capacity,
+        ..ExploreConfig::default()
+    }
+}
+
+struct Measured {
+    name: &'static str,
+    stats: ExploreStats,
+    elapsed_ns: u128,
+}
+
+fn measure(name: &'static str, f: impl FnOnce() -> ExploreStats) -> Measured {
+    let start = Instant::now();
+    let stats = f();
+    let elapsed_ns = start.elapsed().as_nanos();
+    assert!(stats.clean(), "{name}: {:?}", stats.violations);
+    Measured {
+        name,
+        stats,
+        elapsed_ns,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let max_depth = flag_value(&args, "--depth").unwrap_or(if quick { 3 } else { 4 }) as usize;
+    let depths: Vec<usize> = (3..=max_depth.max(3)).collect();
+    let run_cap = 200_000;
+    let scenario = Scenario::one_per_group(&topology::fig1(), 200_000);
+
+    let mut rows = Vec::new();
+    let mut gate_permille = 0u64;
+    for &depth in &depths {
+        println!("fig1, depth {depth} (run cap {run_cap}):");
+        let passes = [
+            measure("odometer-seq", || {
+                explore_exhaustive(&scenario, depth, run_cap, DEFAULT_SHRINK_BUDGET)
+            }),
+            measure("odometer-dedup", || {
+                explore_exhaustive_par(&scenario, depth, run_cap, &config(1 << 18))
+            }),
+            measure("dfs-seq", || {
+                explore_exhaustive_dfs(&scenario, depth, run_cap, DEFAULT_SHRINK_BUDGET)
+            }),
+            measure("dfs-dedup", || {
+                explore_exhaustive_dfs_par(&scenario, depth, run_cap, &config(1 << 18))
+            }),
+        ];
+        let [odo_seq, odo_dedup, dfs_seq, dfs_dedup] = &passes;
+
+        // Every configuration enumerates the identical leaf set…
+        for m in &passes {
+            assert_eq!(m.stats.runs, odo_seq.stats.runs, "{}: coverage", m.name);
+            assert!(m.stats.complete(), "{}: hit the run cap", m.name);
+        }
+        // …and the DFS accounting closes exactly against the matching
+        // odometer configuration (same dedup decisions at one worker).
+        assert_eq!(
+            dfs_seq.stats.steps_executed + dfs_seq.stats.steps_avoided,
+            odo_seq.stats.steps_executed,
+            "dfs-seq accounting must close"
+        );
+        assert_eq!(dfs_dedup.stats.dedup_hits, odo_dedup.stats.dedup_hits);
+        assert_eq!(
+            dfs_dedup.stats.steps_executed + dfs_dedup.stats.steps_avoided,
+            odo_dedup.stats.steps_executed,
+            "dfs-dedup accounting must close"
+        );
+
+        let baseline = odo_seq.stats.steps_executed;
+        let mut configs = Vec::new();
+        for m in &passes {
+            let reduction_permille =
+                (baseline - baseline.min(m.stats.steps_executed)) * 1000 / baseline.max(1);
+            println!(
+                "  {:<16} {:>7} runs  {:>10} steps  (-{:>2}.{:01}% vs odometer-seq)  {:>6} snapshots  {:>6} dedup hits  {} ms",
+                m.name,
+                m.stats.runs,
+                m.stats.steps_executed,
+                reduction_permille / 10,
+                reduction_permille % 10,
+                m.stats.snapshots_taken,
+                m.stats.dedup_hits,
+                m.elapsed_ns / 1_000_000,
+            );
+            configs.push(Json::obj([
+                ("name", Json::from(m.name)),
+                ("runs", Json::from(m.stats.runs)),
+                ("steps_executed", Json::from(m.stats.steps_executed)),
+                ("steps_avoided", Json::from(m.stats.steps_avoided)),
+                (
+                    "steps_avoided_permille",
+                    Json::from(m.stats.steps_avoided_permille()),
+                ),
+                ("snapshots_taken", Json::from(m.stats.snapshots_taken)),
+                ("dedup_hits", Json::from(m.stats.dedup_hits)),
+                ("elapsed_ns", Json::from(m.elapsed_ns as u64)),
+                ("steps_reduction_permille", Json::from(reduction_permille)),
+            ]));
+        }
+        gate_permille =
+            (baseline - dfs_dedup.stats.steps_executed.min(baseline)) * 1000 / baseline.max(1);
+        rows.push(Json::obj([
+            ("depth", Json::from(depth as u64)),
+            ("runs", Json::from(odo_seq.stats.runs)),
+            ("configs", Json::Arr(configs)),
+            ("dfs_dedup_reduction_permille", Json::from(gate_permille)),
+        ]));
+    }
+
+    let record = Json::obj([
+        ("bench", Json::from("explore_dfs")),
+        ("quick", Json::from(quick)),
+        ("cores", Json::from(cores as u64)),
+        ("topology", Json::from("fig1")),
+        ("run_cap", Json::from(run_cap)),
+        ("depths", Json::Arr(rows)),
+        ("dfs_dedup_reduction_permille", Json::from(gate_permille)),
+    ]);
+
+    let text = record.pretty();
+    std::fs::write("BENCH_explore_dfs.json", &text).expect("write BENCH_explore_dfs.json");
+    write_experiment("explore_dfs.json", &record);
+
+    // Round-trip through the vendored parser; then the headline gate. The
+    // metric is steps (deterministic on any host, 1-core CI included);
+    // wall-clock is recorded alongside without judgement.
+    let parsed = Json::parse(&text).expect("persisted record parses");
+    let reduction = parsed
+        .get("dfs_dedup_reduction_permille")
+        .and_then(Json::as_u64)
+        .expect("headline reduction present");
+    assert!(
+        reduction >= 400,
+        "dfs-dedup reduced steps by only {}.{:01}% at depth {} (gate: 40%)",
+        reduction / 10,
+        reduction % 10,
+        depths.last().unwrap(),
+    );
+    println!(
+        "wrote BENCH_explore_dfs.json (dfs-dedup: -{}.{:01}% steps at depth {})",
+        reduction / 10,
+        reduction % 10,
+        depths.last().unwrap()
+    );
+}

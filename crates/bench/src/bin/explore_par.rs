@@ -15,14 +15,21 @@
 //!   reports covered prefixes, pruned tails, and the elapsed-time ratio.
 //!   Pruning must never change the number of covered prefixes.
 //!
+//! `--engine dfs` (or `GAM_EXPLORE_ENGINE=dfs`) swaps the exhaustive
+//! passes for the snapshotting prefix-sharing engine; the dedicated
+//! odometer-vs-DFS comparison lives in the `explore_dfs` bin.
+//!
 //! Run with: `cargo run --release -p gam-bench --bin explore_par
-//!            [-- quick] [--threads N] [--seeds N]`
+//!            [-- quick] [--threads N] [--seeds N] [--engine odometer|dfs]`
 //! Output:   stdout table + `BENCH_explore_par.json` (repo root)
 
 use std::time::Instant;
 
 use gam_bench::json::{write_experiment, Json};
-use gam_explore::{explore_exhaustive_par, explore_swarm_par, ExploreConfig, Scenario};
+use gam_explore::{
+    explore_exhaustive_dfs_par, explore_exhaustive_par, explore_swarm_par, ExploreConfig,
+    ExploreStats, Scenario,
+};
 use gam_groups::topology;
 
 fn flag_value(args: &[String], name: &str) -> Option<u64> {
@@ -30,6 +37,22 @@ fn flag_value(args: &[String], name: &str) -> Option<u64> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
+}
+
+/// The exhaustive engine to run: `--engine` beats the `GAM_EXPLORE_ENGINE`
+/// environment variable beats the odometer default.
+fn engine_choice(args: &[String]) -> String {
+    let engine = args
+        .iter()
+        .position(|a| a == "--engine")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| std::env::var("GAM_EXPLORE_ENGINE").ok())
+        .unwrap_or_else(|| "odometer".to_string());
+    assert!(
+        engine == "odometer" || engine == "dfs",
+        "unknown engine {engine:?} (expected \"odometer\" or \"dfs\")"
+    );
+    engine
 }
 
 fn config(threads: usize, dedup_capacity: usize) -> ExploreConfig {
@@ -43,6 +66,7 @@ fn config(threads: usize, dedup_capacity: usize) -> ExploreConfig {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "quick");
+    let engine = engine_choice(&args);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let max_threads = flag_value(&args, "--threads").unwrap_or(4).max(1) as usize;
     let seeds = flag_value(&args, "--seeds").unwrap_or(if quick { 64 } else { 256 });
@@ -96,12 +120,17 @@ fn main() {
     };
     let ex_scenario = Scenario::one_per_group(&ex_gs, 200_000);
     let run_cap = 50_000;
-    println!("exhaustive dedup: {ex_name}, depth {depth}");
+    println!("exhaustive dedup[{engine}]: {ex_name}, depth {depth}");
+    let exhaustive: fn(&Scenario, usize, u64, &ExploreConfig) -> ExploreStats = if engine == "dfs" {
+        explore_exhaustive_dfs_par
+    } else {
+        explore_exhaustive_par
+    };
     let start = Instant::now();
-    let plain = explore_exhaustive_par(&ex_scenario, depth, run_cap, &config(1, 0));
+    let plain = exhaustive(&ex_scenario, depth, run_cap, &config(1, 0));
     let plain_ns = start.elapsed().as_nanos();
     let start = Instant::now();
-    let pruned = explore_exhaustive_par(&ex_scenario, depth, run_cap, &config(1, 1 << 18));
+    let pruned = exhaustive(&ex_scenario, depth, run_cap, &config(1, 1 << 18));
     let pruned_ns = start.elapsed().as_nanos();
     assert!(plain.clean() && pruned.clean(), "exhaustive pass violated");
     assert_eq!(
@@ -140,10 +169,17 @@ fn main() {
             "exhaustive",
             Json::obj([
                 ("topology", Json::from(ex_name)),
+                ("engine", Json::from(engine.as_str())),
                 ("depth", Json::from(depth as u64)),
                 ("runs", Json::from(pruned.runs)),
                 ("dedup_hits", Json::from(pruned.dedup_hits)),
                 ("dedup_hit_permille", Json::from(permille)),
+                ("steps_executed", Json::from(pruned.steps_executed)),
+                ("snapshots_taken", Json::from(pruned.snapshots_taken)),
+                (
+                    "steps_avoided_permille",
+                    Json::from(pruned.steps_avoided_permille()),
+                ),
                 ("plain_elapsed_ns", Json::from(plain_ns as u64)),
                 ("pruned_elapsed_ns", Json::from(pruned_ns as u64)),
                 ("time_saved_pct", Json::from(time_saved_pct)),

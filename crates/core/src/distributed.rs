@@ -123,7 +123,7 @@ impl History for MuHistory {
 }
 
 /// The folded view of one group's SMR at this process.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct GroupView {
     paxos: PaxosProcess<GroupCmd>,
     /// How many instances have been folded so far.
@@ -211,7 +211,7 @@ impl GroupView {
 }
 
 /// The folded view of one `LOG_{g∩h}` fast log at this process.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PairView {
     fl: FastLogProcess,
     applied: usize,
@@ -260,7 +260,7 @@ enum Op {
 }
 
 /// A running action: remaining operations, then a phase transition.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Saga {
     msg: MessageId,
     ops: VecDeque<Op>,
@@ -270,7 +270,7 @@ struct Saga {
 }
 
 /// One process of the distributed deployment.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DistProcess {
     me: ProcessId,
     system: GroupSystem,

@@ -148,7 +148,7 @@ impl RunReport {
 }
 
 /// The Algorithm 1 runtime. See the module docs.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Runtime {
     system: GroupSystem,
     pattern: FailurePattern,

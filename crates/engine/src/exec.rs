@@ -86,6 +86,38 @@ pub trait Executor {
     fn attach(&mut self, observer: Box<dyn Observer + Send>);
 }
 
+/// Checkpoint/restore extension of [`Executor`] — the capability the
+/// prefix-sharing DFS explorer is built on.
+///
+/// A snapshot captures **everything** that determines future behaviour *and*
+/// future digests: the substrate state (logs, oracles, scheduler cursors,
+/// clocks, in-flight messages, RNG) plus the executor's own incremental
+/// history [`Digest`](crate::digest::Digest). After `restore`, the executor must be
+/// bit-for-bit indistinguishable from one that reached the checkpoint
+/// fresh: the same `enabled_actions`, and — after any continuation — the
+/// same `state_digest` and `state_fingerprint`. That is what lets the DFS
+/// engine prove its runs byte-identical to the restart-from-scratch
+/// odometer engine.
+///
+/// Attached observers are *not* part of a snapshot: `restore` rewinds the
+/// machine, not the audience. Observed explorations therefore see each
+/// shared prefix published once, at first execution.
+///
+/// Snapshots are `Send` so the parallel DFS can hold them in per-worker
+/// stacks (asserted at compile time for both built-in substrates).
+pub trait SnapshotExec: Executor {
+    /// The checkpoint type — a deep copy of the substrate + digest state.
+    type Snapshot: Send;
+
+    /// Captures the current state as a checkpoint.
+    fn snapshot(&self) -> Self::Snapshot;
+
+    /// Rewinds to a checkpoint previously taken on this executor (or an
+    /// identical twin). Restoring a snapshot from a *different* scenario is
+    /// not meaningful and yields an unspecified (but memory-safe) state.
+    fn restore(&mut self, snap: &Self::Snapshot);
+}
+
 impl<E: Executor + ?Sized> Executor for &mut E {
     fn enabled_actions(&mut self, out: &mut Vec<(ProcessId, usize)>) {
         (**self).enabled_actions(out);

@@ -11,7 +11,7 @@
 
 use crate::digest::Digest;
 use crate::event::{Observer, TraceEvent};
-use crate::exec::Executor;
+use crate::exec::{Executor, SnapshotExec};
 use gam_core::MessageId;
 use gam_kernel::schedule::ChoiceStep;
 use gam_kernel::{Automaton, History, ProcessId, ProcessSet, Simulator};
@@ -84,6 +84,44 @@ impl<A: Automaton, H: History<Value = A::Fd>> KernelExecutor<A, H> {
         for obs in &mut self.observers {
             obs.on_event(ev);
         }
+    }
+}
+
+/// A [`KernelExecutor`] checkpoint: the whole simulator (automata,
+/// in-flight messages, trace, RNG, cursors) plus the executor's history
+/// digest and publication cursors. Observers and the delivery extractor
+/// are configuration and stay out (see [`SnapshotExec`]).
+#[derive(Debug, Clone)]
+pub struct KernelSnapshot<A: Automaton, H: History<Value = A::Fd>> {
+    sim: Simulator<A, H>,
+    digest: Digest,
+    events_seen: usize,
+    crashed_seen: ProcessSet,
+}
+
+impl<A, H> SnapshotExec for KernelExecutor<A, H>
+where
+    A: Automaton + Clone + Send,
+    A::Msg: Send,
+    A::Event: Send,
+    H: History<Value = A::Fd> + Clone + Send,
+{
+    type Snapshot = KernelSnapshot<A, H>;
+
+    fn snapshot(&self) -> KernelSnapshot<A, H> {
+        KernelSnapshot {
+            sim: self.sim.clone(),
+            digest: self.digest,
+            events_seen: self.events_seen,
+            crashed_seen: self.crashed_seen,
+        }
+    }
+
+    fn restore(&mut self, snap: &KernelSnapshot<A, H>) {
+        self.sim = snap.sim.clone();
+        self.digest = snap.digest;
+        self.events_seen = snap.events_seen;
+        self.crashed_seen = snap.crashed_seen;
     }
 }
 

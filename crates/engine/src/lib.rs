@@ -46,18 +46,24 @@ mod visited;
 pub use event::{EventCounts, EventLog, Observer, TraceEvent};
 pub use exec::{
     replay, run_fair, run_recorded, run_with_source, run_with_source_counted, Executor, PrefixTail,
+    SnapshotExec,
 };
-pub use kernel::KernelExecutor;
-pub use runtime::RuntimeExecutor;
+pub use kernel::{KernelExecutor, KernelSnapshot};
+pub use runtime::{RuntimeExecutor, RuntimeSnapshot};
 pub use visited::VisitedSet;
 
-// Parallel explorers move one executor per worker across thread boundaries;
-// pin that capability down at compile time for both substrates.
+// Parallel explorers move one executor per worker across thread boundaries,
+// and the parallel DFS additionally holds per-worker stacks of snapshots;
+// pin those capabilities down at compile time for both substrates.
 const _: () = {
     const fn assert_send<T: Send>() {}
     assert_send::<RuntimeExecutor>();
     assert_send::<
         KernelExecutor<gam_core::distributed::DistProcess, gam_core::distributed::MuHistory>,
+    >();
+    assert_send::<RuntimeSnapshot>();
+    assert_send::<
+        KernelSnapshot<gam_core::distributed::DistProcess, gam_core::distributed::MuHistory>,
     >();
 };
 
@@ -131,6 +137,51 @@ mod tests {
         let out2 = replay(&mut again, &schedule, 200_000);
         assert_eq!(out2, RunOutcome::Quiescent);
         assert_eq!(again.state_digest(), exec.state_digest());
+    }
+
+    #[test]
+    fn kernel_snapshot_restore_replays_bit_for_bit() {
+        use gam_groups::{topology, GroupId};
+        use gam_kernel::{FailurePattern, ProcessId, RunOutcome};
+
+        let gs = topology::two_overlapping(3, 1);
+        let pattern = FailurePattern::all_correct(gs.universe());
+        let autos: Vec<DistProcess> = gs
+            .universe()
+            .iter()
+            .map(|p| DistProcess::new(p, &gs))
+            .collect();
+        let mu =
+            gam_detectors::MuOracle::new(&gs, pattern.clone(), gam_detectors::MuConfig::default());
+        let mut sim = gam_kernel::Simulator::new(autos, pattern, MuHistory::new(mu));
+        sim.automaton_mut(ProcessId(0))
+            .multicast(MessageId(0), GroupId(0));
+        let mut exec = KernelExecutor::new(sim);
+
+        // Advance partway, checkpoint, and note where we stand.
+        let mut src = gam_kernel::schedule::RandomSource::new(3);
+        let out = run_with_source(&mut exec, &mut src, 40);
+        assert_eq!(out, RunOutcome::BudgetExhausted);
+        let snap = exec.snapshot();
+        let at_snap = exec.state_digest();
+
+        // Continue to quiescence, diverge after a restore, then replay the
+        // original continuation — digests must match exactly.
+        let finish = |exec: &mut KernelExecutor<DistProcess, MuHistory>, seed: u64| {
+            let mut src = gam_kernel::schedule::RandomSource::new(seed);
+            assert_eq!(
+                run_with_source(exec, &mut src, 2_000_000),
+                RunOutcome::Quiescent
+            );
+            exec.state_digest()
+        };
+        let first = finish(&mut exec, 7);
+        exec.restore(&snap);
+        assert_eq!(exec.state_digest(), at_snap, "restore lands on checkpoint");
+        let other = finish(&mut exec, 8);
+        assert_ne!(first, other, "different continuations must diverge");
+        exec.restore(&snap);
+        assert_eq!(finish(&mut exec, 7), first, "replayed continuation agrees");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::digest::Digest;
 use crate::event::{Observer, TraceEvent};
-use crate::exec::Executor;
+use crate::exec::{Executor, SnapshotExec};
 use gam_core::{RunReport, Runtime};
 use gam_kernel::schedule::ChoiceStep;
 use gam_kernel::{ProcessId, ProcessSet};
@@ -78,6 +78,36 @@ impl RuntimeExecutor {
             self.crashed_seen.insert(p);
             self.publish(&TraceEvent::Crash { time: now, pid: p });
         }
+    }
+}
+
+/// A [`RuntimeExecutor`] checkpoint: the full Algorithm 1 runtime (logs,
+/// oracles, scheduler, clock, RNG) plus the executor's history digest and
+/// crash-publication cursor. The scheduled process set is configuration,
+/// not state, and the observer list deliberately stays out (see
+/// [`SnapshotExec`]).
+#[derive(Debug, Clone)]
+pub struct RuntimeSnapshot {
+    rt: Runtime,
+    digest: Digest,
+    crashed_seen: ProcessSet,
+}
+
+impl SnapshotExec for RuntimeExecutor {
+    type Snapshot = RuntimeSnapshot;
+
+    fn snapshot(&self) -> RuntimeSnapshot {
+        RuntimeSnapshot {
+            rt: self.rt.clone(),
+            digest: self.digest,
+            crashed_seen: self.crashed_seen,
+        }
+    }
+
+    fn restore(&mut self, snap: &RuntimeSnapshot) {
+        self.rt = snap.rt.clone();
+        self.digest = snap.digest;
+        self.crashed_seen = snap.crashed_seen;
     }
 }
 

@@ -1,0 +1,422 @@
+//! Snapshot-based incremental DFS exploration: execute shared schedule
+//! prefixes **once**.
+//!
+//! The odometer engines ([`crate::explore_exhaustive`] and its parallel
+//! pool) restart every run from the initial state, so two schedules
+//! sharing a prefix of `k` choices re-execute those `k` steps (and every
+//! idle tick between them) twice. This module walks the same bounded
+//! choice tree as an explicit depth-first search over a
+//! [`SnapshotExec`] executor: at each branch point with more than one
+//! sibling it captures a checkpoint, and backtracking `restore`s the
+//! checkpoint instead of replaying the prefix from scratch.
+//!
+//! ## Equivalence to the odometer engines
+//!
+//! The DFS is *provably the same exploration*, just cheaper:
+//!
+//! - **Same leaves, same order.** The odometer bumps the deepest consumed
+//!   digit that still has unexplored siblings — exactly DFS backtracking —
+//!   so the lexicographic enumeration *is* the DFS preorder, and a run cap
+//!   stops both engines at the same leaf (runs are reserved from the same
+//!   shared budget, before any execution).
+//! - **Same runs.** [`SnapshotExec::restore`] reproduces the substrate
+//!   bit-for-bit, including the incremental history digest, so the steps
+//!   after a restore are the steps a fresh replay of the prefix would have
+//!   taken: per-run `state_digest`/`state_fingerprint` and the recorded
+//!   schedules are identical. Fair tails are fresh
+//!   [`RotatingSource`]s in both engines.
+//! - **Same dedup decisions.** The per-worker [`VisitedSet`] is consulted
+//!   at the same post-prefix fingerprints, and (as in the odometer pool)
+//!   only *clean* tail verdicts are recorded, so pruning can never hide a
+//!   violation.
+//!
+//! `tests/engine_dfs_equivalence.rs` checks all of this — byte-identical
+//! [`Repro`](crate::Repro)s included — on every fixture topology, for 1
+//! and N threads.
+//!
+//! ## Accounting
+//!
+//! [`ExploreStats::steps_executed`] counts what this engine actually ran;
+//! [`ExploreStats::steps_avoided`] counts the prefix re-execution it
+//! skipped, measured so that `steps_executed + steps_avoided` equals the
+//! `steps_executed` of the odometer engine on the same tree with the same
+//! dedup decisions. `BENCH_explore_dfs.json` tracks the reduction.
+
+use crate::explorer::ExploreStats;
+use crate::par::{exhaustive_pool, merge, ExploreConfig, ItemResult};
+use crate::Scenario;
+use gam_core::spec::check_all;
+use gam_engine::{run_with_source_counted, Executor, RuntimeSnapshot, SnapshotExec, VisitedSet};
+use gam_kernel::schedule::{ChoiceStep, RecordInto, RotatingSource};
+use gam_kernel::{ProcessId, RunOutcome};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One branch point on the current DFS path: the checkpoint taken just
+/// before its digit was consumed, plus the odometer bookkeeping needed to
+/// resume siblings.
+struct Frame {
+    /// Checkpoint at the branch point — `None` when the branch has a single
+    /// child (nothing will ever be restored there).
+    snap: Option<RuntimeSnapshot>,
+    /// Budget consumed when the checkpoint was taken.
+    taken: u64,
+    /// Total option arity at the branch (the odometer's `branching[i]`).
+    total: usize,
+    /// The flat digit currently being explored.
+    next: usize,
+    /// Length of the recorded schedule at the branch point.
+    sched_len: usize,
+}
+
+/// Replicates one iteration chunk of the engine driver loop
+/// ([`run_with_source_counted`]): budget check, option enumeration, idle
+/// handling. Returns `Some(outcome)` when the run is over (a leaf of the
+/// tree) and `None` when the executor stands at a choice point with
+/// `options` populated.
+fn advance<E: Executor>(
+    exec: &mut E,
+    taken: &mut u64,
+    max_steps: u64,
+    options: &mut Vec<(ProcessId, usize)>,
+    executed: &mut u64,
+) -> Option<RunOutcome> {
+    loop {
+        if *taken >= max_steps {
+            return Some(RunOutcome::BudgetExhausted);
+        }
+        exec.enabled_actions(options);
+        if options.is_empty() {
+            if exec.is_quiescent() || !exec.idle_tick() {
+                return Some(RunOutcome::Quiescent);
+            }
+            *taken += 1;
+            *executed += 1;
+            continue;
+        }
+        return None;
+    }
+}
+
+/// Executes the `flat`-th option of the current choice space (the
+/// odometer's digit decoding, clamp included), recording the step.
+fn step_flat<E: Executor>(
+    exec: &mut E,
+    options: &[(ProcessId, usize)],
+    flat: usize,
+    prefix: &mut Vec<ChoiceStep>,
+    taken: &mut u64,
+    executed: &mut u64,
+) {
+    let total: usize = options.iter().map(|(_, arity)| arity).sum();
+    let mut flat = flat.min(total - 1);
+    for (pid, arity) in options {
+        if flat < *arity {
+            let step = ChoiceStep {
+                pid: *pid,
+                choice: flat,
+            };
+            prefix.push(step);
+            exec.step(step);
+            *taken += 1;
+            *executed += 1;
+            return;
+        }
+        flat -= arity;
+    }
+    unreachable!("flat index clamped below total arity")
+}
+
+/// DFS walk of every enumerated path whose leading digits equal `pinned` —
+/// the snapshotting counterpart of [`crate::par`]'s `explore_item`, and a
+/// drop-in `run_item` for its worker pool.
+pub(crate) fn dfs_item(
+    scenario: &Scenario,
+    depth: usize,
+    pinned: &[usize],
+    reserved: &AtomicU64,
+    max_runs: u64,
+    mut visited: Option<&mut VisitedSet>,
+) -> ItemResult {
+    let mut res = ItemResult::default();
+    let mut exec = scenario.runtime_executor();
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut prefix: Vec<ChoiceStep> = Vec::new();
+    let mut options: Vec<(ProcessId, usize)> = Vec::new();
+    let mut tail_sched: Vec<ChoiceStep> = Vec::new();
+    let mut taken = 0u64;
+    let mut started = false;
+    loop {
+        // Backtrack to the deepest branch with an unexplored sibling —
+        // exactly the odometer's "bump the deepest consumed digit" rule.
+        if started {
+            loop {
+                let Some(top) = stack.last_mut() else {
+                    return res;
+                };
+                top.next += 1;
+                if top.next < top.total {
+                    break;
+                }
+                stack.pop();
+            }
+        }
+        // Reserve a run from the shared budget *before* executing anything
+        // of it, so the total across workers matches the sequential cap.
+        if reserved.fetch_add(1, Ordering::Relaxed) >= max_runs {
+            res.capped = true;
+            return res;
+        }
+        let mut digits = 0;
+        if started {
+            let frame = stack.last().expect("backtrack left a frame");
+            exec.restore(
+                frame
+                    .snap
+                    .as_ref()
+                    .expect("a frame with unexplored siblings has a checkpoint"),
+            );
+            taken = frame.taken;
+            prefix.truncate(frame.sched_len);
+            // The checkpoint is a choice point (budget not exhausted,
+            // options non-empty): re-enumerate and take the sibling digit.
+            exec.enabled_actions(&mut options);
+            let next = frame.next;
+            step_flat(
+                &mut exec,
+                &options,
+                next,
+                &mut prefix,
+                &mut taken,
+                &mut res.steps_executed,
+            );
+            // Frames sit strictly past the pinned region, so the restored
+            // path has consumed every pinned digit plus one per frame.
+            digits = pinned.len() + stack.len();
+        }
+        started = true;
+        // Descend to a leaf: either the run terminates (interior leaf) or
+        // `depth` digits are consumed (tail leaf).
+        let interior = loop {
+            match advance(
+                &mut exec,
+                &mut taken,
+                scenario.max_steps,
+                &mut options,
+                &mut res.steps_executed,
+            ) {
+                Some(out) => break Some(out),
+                None if digits == depth => break None,
+                None => {
+                    if digits < pinned.len() {
+                        let flat = pinned[digits];
+                        step_flat(
+                            &mut exec,
+                            &options,
+                            flat,
+                            &mut prefix,
+                            &mut taken,
+                            &mut res.steps_executed,
+                        );
+                    } else {
+                        let total: usize = options.iter().map(|(_, arity)| arity).sum();
+                        let snap = (total > 1).then(|| {
+                            res.snapshots += 1;
+                            exec.snapshot()
+                        });
+                        stack.push(Frame {
+                            snap,
+                            taken,
+                            total,
+                            next: 0,
+                            sched_len: prefix.len(),
+                        });
+                        step_flat(
+                            &mut exec,
+                            &options,
+                            0,
+                            &mut prefix,
+                            &mut taken,
+                            &mut res.steps_executed,
+                        );
+                    }
+                    digits += 1;
+                }
+            }
+        };
+        res.runs += 1;
+        // What a restart-from-scratch odometer run of this leaf costs: the
+        // whole prefix drive, whether or not we re-executed it.
+        res.steps_odometer += taken;
+        if let Some(out) = interior {
+            // The run terminated within the enumerated prefix itself.
+            let report = exec.report(out == RunOutcome::Quiescent);
+            if let Err(violation) = check_all(&report, scenario.variant) {
+                res.violation = Some((prefix.clone(), violation, 0));
+                return res;
+            }
+            continue;
+        }
+        // Tail leaf: same dedup rule as the odometer pool — skip the fair
+        // tail iff this post-prefix state already completed clean.
+        let fp = exec.state_fingerprint();
+        if visited.as_deref().is_some_and(|seen| seen.contains(fp)) {
+            res.dedup_hits += 1;
+            continue;
+        }
+        tail_sched.clear();
+        let (tail_out, tail_steps) = {
+            let mut tail = RecordInto::new(RotatingSource::default(), &mut tail_sched);
+            run_with_source_counted(&mut exec, &mut tail, scenario.max_steps - taken)
+        };
+        res.steps_executed += tail_steps;
+        res.steps_odometer += tail_steps;
+        let report = exec.report(tail_out == RunOutcome::Quiescent);
+        if let Err(violation) = check_all(&report, scenario.variant) {
+            let mut schedule = prefix.clone();
+            schedule.extend_from_slice(&tail_sched);
+            res.violation = Some((schedule, violation, 0));
+            return res;
+        }
+        // Only a clean tail verdict is remembered (see the odometer pool).
+        if let Some(seen) = visited.as_deref_mut() {
+            seen.insert(fp);
+        }
+    }
+}
+
+/// [`explore_exhaustive`](crate::explore_exhaustive) with prefix sharing:
+/// the same bounded tree, runs, verdicts and canonical counterexample, but
+/// each shared schedule prefix executes **once** — the engine checkpoints
+/// at branch points and `restore`s on backtrack instead of replaying from
+/// the initial state. [`ExploreStats::steps_avoided`] reports the savings.
+pub fn explore_exhaustive_dfs(
+    scenario: &Scenario,
+    depth: usize,
+    max_runs: u64,
+    shrink_budget: u64,
+) -> ExploreStats {
+    let reserved = AtomicU64::new(0);
+    let res = dfs_item(scenario, depth, &[], &reserved, max_runs, None);
+    let runs = res.runs;
+    merge(scenario, vec![(runs, 0, vec![(0, res)])], shrink_budget)
+}
+
+/// [`explore_exhaustive_par`](crate::explore_exhaustive_par) with prefix
+/// sharing: the tree is split at the top-level frontier into the same
+/// pinned-prefix work items, each walked by the snapshotting DFS, with the
+/// same deterministic lowest-item-index merge and per-worker dedup.
+pub fn explore_exhaustive_dfs_par(
+    scenario: &Scenario,
+    depth: usize,
+    max_runs: u64,
+    config: &ExploreConfig,
+) -> ExploreStats {
+    exhaustive_pool(scenario, depth, max_runs, config, dfs_item)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::{explore_exhaustive, Outcome, DEFAULT_SHRINK_BUDGET};
+    use gam_engine::run_with_source;
+    use gam_groups::topology;
+    use gam_kernel::schedule::PathSource;
+
+    #[test]
+    fn dfs_matches_odometer_on_single_group() {
+        let scenario = Scenario::one_per_group(&topology::single_group(2), 20_000);
+        let seq = explore_exhaustive(&scenario, 3, 5_000, DEFAULT_SHRINK_BUDGET);
+        let dfs = explore_exhaustive_dfs(&scenario, 3, 5_000, DEFAULT_SHRINK_BUDGET);
+        assert!(dfs.clean(), "violations: {:?}", dfs.violations);
+        assert_eq!(dfs.runs, seq.runs);
+        assert_eq!(dfs.outcome, seq.outcome);
+        assert_eq!(dfs.dedup_hits, 0, "sequential DFS runs without dedup");
+        // The accounting invariant: executed + avoided = what the odometer
+        // engine executed, and sharing must actually save something.
+        assert_eq!(dfs.steps_executed + dfs.steps_avoided, seq.steps_executed);
+        assert!(
+            dfs.steps_executed < seq.steps_executed,
+            "prefix sharing saved nothing: {} vs {}",
+            dfs.steps_executed,
+            seq.steps_executed
+        );
+        assert!(dfs.snapshots_taken > 0);
+        assert!(dfs.steps_avoided_permille() > 0);
+    }
+
+    #[test]
+    fn dfs_respects_run_cap_like_the_odometer() {
+        let scenario = Scenario::one_per_group(&topology::two_overlapping(3, 1), 50_000);
+        let seq = explore_exhaustive(&scenario, 4, 7, DEFAULT_SHRINK_BUDGET);
+        let dfs = explore_exhaustive_dfs(&scenario, 4, 7, DEFAULT_SHRINK_BUDGET);
+        assert_eq!(dfs.runs, 7);
+        assert_eq!(seq.outcome, Outcome::RunCapped);
+        assert_eq!(dfs.outcome, Outcome::RunCapped);
+        assert!(dfs.violations.is_empty());
+    }
+
+    #[test]
+    fn restore_reproduces_digest_and_fingerprint_bit_for_bit() {
+        // Drive to the first branch, checkpoint, explore child 0 to the
+        // end, restore, explore child 1, restore, re-explore child 0 — the
+        // digests of the two child-0 continuations must agree exactly, and
+        // both must equal a fresh from-scratch replay of the same path.
+        let scenario = Scenario::one_per_group(&topology::two_overlapping(3, 1), 50_000);
+        let mut exec = scenario.runtime_executor();
+        let mut options = Vec::new();
+        let mut taken = 0u64;
+        let mut executed = 0u64;
+        let leaf = advance(
+            &mut exec,
+            &mut taken,
+            scenario.max_steps,
+            &mut options,
+            &mut executed,
+        );
+        assert!(leaf.is_none(), "scenario must reach a choice point");
+        let total: usize = options.iter().map(|(_, a)| a).sum();
+        assert!(total > 1, "scenario must actually branch");
+        let snap = exec.snapshot();
+        let at_branch = (exec.state_digest(), exec.state_fingerprint());
+
+        let run_child = |exec: &mut gam_engine::RuntimeExecutor, flat: usize| {
+            let mut opts = Vec::new();
+            exec.enabled_actions(&mut opts);
+            let (mut t, mut e) = (taken, 0u64);
+            let mut sched = Vec::new();
+            step_flat(exec, &opts, flat, &mut sched, &mut t, &mut e);
+            let out = run_with_source(exec, &mut RotatingSource::default(), scenario.max_steps - t);
+            assert_eq!(out, RunOutcome::Quiescent);
+            (exec.state_digest(), exec.state_fingerprint())
+        };
+
+        let first = run_child(&mut exec, 0);
+        exec.restore(&snap);
+        assert_eq!(
+            (exec.state_digest(), exec.state_fingerprint()),
+            at_branch,
+            "restore must land exactly on the checkpoint"
+        );
+        let other = run_child(&mut exec, 1);
+        assert_ne!(first, other, "distinct children must diverge");
+        exec.restore(&snap);
+        let again = run_child(&mut exec, 0);
+        assert_eq!(
+            first, again,
+            "restored continuation must replay bit-for-bit"
+        );
+
+        // And a cold executor replaying child 0's path agrees too. No
+        // scheduled step precedes the first branch (advance only idles), so
+        // the path is the single child digit; the tail is the fair default.
+        let mut fresh = scenario.runtime_executor();
+        let mut src = gam_engine::PrefixTail::new(PathSource::new(vec![0]));
+        let out = run_with_source(&mut fresh, &mut src, scenario.max_steps);
+        assert_eq!(out, RunOutcome::Quiescent);
+        assert_eq!(
+            (fresh.state_digest(), fresh.state_fingerprint()),
+            first,
+            "snapshot continuation must equal a from-scratch run"
+        );
+    }
+}

@@ -9,7 +9,9 @@
 use crate::shrink::shrink;
 use crate::{PrefixTail, Repro, Scenario};
 use gam_core::spec::{check_all, SpecViolation};
-use gam_kernel::schedule::{PathSource, RandomSource, RecordingSource};
+use gam_engine::run_with_source_counted;
+use gam_kernel::schedule::{PathSource, RandomSource, RecordInto, RecordingSource};
+use gam_kernel::RunOutcome;
 use std::ops::Range;
 
 /// A spec violation found by exploration, shrunk and packaged for replay.
@@ -54,6 +56,18 @@ pub struct ExploreStats {
     /// Runs executed by each worker of the pool (a single entry for the
     /// sequential strategies).
     pub worker_runs: Vec<u64>,
+    /// Substrate steps (scheduled steps plus idle ticks) actually executed,
+    /// excluding shrinker candidates and work-item probe runs. The metric
+    /// the DFS engine's prefix sharing reduces.
+    pub steps_executed: u64,
+    /// Checkpoints captured by the snapshotting DFS engine (0 for the
+    /// odometer engines and the swarm).
+    pub snapshots_taken: u64,
+    /// Steps a restart-from-scratch odometer enumeration of the *same*
+    /// leaves (with the same dedup decisions) would have executed, minus
+    /// [`ExploreStats::steps_executed`] — i.e. the shared-prefix re-execution
+    /// the DFS engine skipped (0 for the odometer engines and the swarm).
+    pub steps_avoided: u64,
 }
 
 impl ExploreStats {
@@ -77,13 +91,31 @@ impl ExploreStats {
         }
     }
 
-    pub(crate) fn sequential(runs: u64, violations: Vec<Counterexample>, outcome: Outcome) -> Self {
+    /// Per-mille of odometer-equivalent steps the engine did *not* execute:
+    /// `steps_avoided / (steps_executed + steps_avoided) × 1000` (0 for the
+    /// restart-from-scratch engines, where nothing is avoided).
+    pub fn steps_avoided_permille(&self) -> u64 {
+        let equivalent = self.steps_executed + self.steps_avoided;
+        (self.steps_avoided * 1000)
+            .checked_div(equivalent)
+            .unwrap_or(0)
+    }
+
+    pub(crate) fn sequential(
+        runs: u64,
+        violations: Vec<Counterexample>,
+        outcome: Outcome,
+        steps_executed: u64,
+    ) -> Self {
         ExploreStats {
             runs,
             violations,
             outcome,
             dedup_hits: 0,
             worker_runs: vec![runs],
+            steps_executed,
+            snapshots_taken: 0,
+            steps_avoided: 0,
         }
     }
 }
@@ -134,21 +166,37 @@ pub fn explore_exhaustive(
     shrink_budget: u64,
 ) -> ExploreStats {
     let mut path = vec![0usize; depth];
+    // The per-run state is hoisted out of the loop and reset in place:
+    // enumerating a tree means millions of runs, and a fresh `PathSource`
+    // path + a fresh recording log per run were the loop's only per-run
+    // allocations.
+    let mut path_source = PathSource::new(Vec::new());
+    let mut schedule = Vec::new();
     let mut runs = 0u64;
+    let mut steps = 0u64;
     loop {
         if runs >= max_runs {
-            return ExploreStats::sequential(runs, Vec::new(), Outcome::RunCapped);
+            return ExploreStats::sequential(runs, Vec::new(), Outcome::RunCapped, steps);
         }
-        let mut path_source = PathSource::new(path.clone());
-        let mut source = RecordingSource::new(PrefixTail::new(&mut path_source));
-        let report = scenario.run(&mut source);
-        let schedule = source.into_log();
+        path_source.reset_to(&path);
+        schedule.clear();
+        let mut exec = scenario.runtime_executor();
+        let out = {
+            let mut source = RecordInto::new(PrefixTail::new(&mut path_source), &mut schedule);
+            let (out, consumed) =
+                run_with_source_counted(&mut exec, &mut source, scenario.max_steps);
+            steps += consumed;
+            out
+        };
+        let report = exec.report(out == RunOutcome::Quiescent);
         runs += 1;
         if let Err(violation) = check_all(&report, scenario.variant) {
+            let schedule = std::mem::take(&mut schedule);
             return ExploreStats::sequential(
                 runs,
                 vec![found(scenario, schedule, violation, 0, shrink_budget)],
                 Outcome::ViolationFound,
+                steps,
             );
         }
         // Advance the odometer: bump the deepest consumed digit that still
@@ -156,7 +204,7 @@ pub fn explore_exhaustive(
         let branching = path_source.branching();
         let used = branching.len().min(depth);
         let Some(bump) = (0..used).rev().find(|&i| path[i] + 1 < branching[i]) else {
-            return ExploreStats::sequential(runs, Vec::new(), Outcome::Exhausted);
+            return ExploreStats::sequential(runs, Vec::new(), Outcome::Exhausted, steps);
         };
         path[bump] += 1;
         for digit in path.iter_mut().skip(bump + 1) {
@@ -174,9 +222,13 @@ pub fn explore_exhaustive(
 /// [`explore_swarm_par`](crate::explore_swarm_par).
 pub fn explore_swarm(scenario: &Scenario, seeds: Range<u64>, shrink_budget: u64) -> ExploreStats {
     let mut runs = 0u64;
+    let mut steps = 0u64;
     for seed in seeds {
         let mut source = RecordingSource::new(RandomSource::new(seed));
-        let report = scenario.run(&mut source);
+        let mut exec = scenario.runtime_executor();
+        let (out, consumed) = run_with_source_counted(&mut exec, &mut source, scenario.max_steps);
+        steps += consumed;
+        let report = exec.report(out == RunOutcome::Quiescent);
         runs += 1;
         if let Err(violation) = check_all(&report, scenario.variant) {
             return ExploreStats::sequential(
@@ -189,10 +241,11 @@ pub fn explore_swarm(scenario: &Scenario, seeds: Range<u64>, shrink_budget: u64)
                     shrink_budget,
                 )],
                 Outcome::ViolationFound,
+                steps,
             );
         }
     }
-    ExploreStats::sequential(runs, Vec::new(), Outcome::Exhausted)
+    ExploreStats::sequential(runs, Vec::new(), Outcome::Exhausted, steps)
 }
 
 /// The default shrinker budget (candidate runs) of the `explore_*` family.

@@ -15,6 +15,10 @@
 //!   deterministic merge — the reported counterexample is independent of
 //!   the thread count — plus visited-set dedup of converged prefixes (see
 //!   [`ExploreConfig`]);
+//! - [`explore_exhaustive_dfs`] / [`explore_exhaustive_dfs_par`] walk the
+//!   *same* tree as a snapshotting depth-first search — shared schedule
+//!   prefixes execute once, checkpoints are restored on backtrack — and
+//!   are verified byte-identical to the odometer engines;
 //! - on a violation, [`shrink`] delta-debugs the failing run — dropping
 //!   crashes and submissions, truncating the schedule, collapsing choices
 //!   toward the round-robin default — down to a minimal counterexample;
@@ -31,12 +35,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dfs;
 mod explorer;
 pub mod kernel;
 mod par;
 mod repro;
 mod shrink;
 
+pub use dfs::{explore_exhaustive_dfs, explore_exhaustive_dfs_par};
 pub use explorer::{
     explore_exhaustive, explore_swarm, Counterexample, ExploreStats, Outcome, DEFAULT_SHRINK_BUDGET,
 };

@@ -108,7 +108,7 @@ impl ExploreConfig {
 
 /// Total option arity of the choice space reached by driving `scenario`
 /// through `prefix` (0 when the run terminates within the prefix).
-fn arity_after(scenario: &Scenario, prefix: &[usize]) -> usize {
+pub(crate) fn arity_after(scenario: &Scenario, prefix: &[usize]) -> usize {
     let mut exec = scenario.runtime_executor();
     let mut src = PathSource::new(prefix.to_vec());
     if run_with_source(&mut exec, &mut src, scenario.max_steps) != RunOutcome::Stopped {
@@ -123,7 +123,7 @@ fn arity_after(scenario: &Scenario, prefix: &[usize]) -> usize {
 
 /// The work items of the bounded tree: pinned odometer prefixes of length
 /// ≤ 2, in lexicographic (= sequential enumeration) order.
-fn exhaustive_items(scenario: &Scenario, depth: usize) -> Vec<Vec<usize>> {
+pub(crate) fn exhaustive_items(scenario: &Scenario, depth: usize) -> Vec<Vec<usize>> {
     if depth == 0 {
         return vec![Vec::new()];
     }
@@ -147,20 +147,32 @@ fn exhaustive_items(scenario: &Scenario, depth: usize) -> Vec<Vec<usize>> {
     items
 }
 
+/// One worker's contribution to the merge: `(runs, loose_steps, item
+/// results)` — see [`merge`] for the field meanings.
+pub(crate) type WorkerTally = (u64, u64, Vec<(usize, ItemResult)>);
+
 #[derive(Debug, Default)]
-struct ItemResult {
-    runs: u64,
-    dedup_hits: u64,
-    capped: bool,
+pub(crate) struct ItemResult {
+    pub(crate) runs: u64,
+    pub(crate) dedup_hits: u64,
+    pub(crate) capped: bool,
     /// The violating schedule, the violation, and the repro seed (the
     /// violating seed for swarm items, 0 for enumerated prefixes).
-    violation: Option<(Vec<ChoiceStep>, SpecViolation, u64)>,
+    pub(crate) violation: Option<(Vec<ChoiceStep>, SpecViolation, u64)>,
+    /// Substrate steps + idle ticks this item actually executed.
+    pub(crate) steps_executed: u64,
+    /// Steps a restart-from-scratch odometer walk of the same leaves (same
+    /// dedup decisions) executes. Equal to `steps_executed` for the odometer
+    /// engine itself; larger for the snapshotting DFS engine.
+    pub(crate) steps_odometer: u64,
+    /// Checkpoints captured (0 for the odometer engine).
+    pub(crate) snapshots: u64,
 }
 
 /// Walks every enumerated path whose leading digits equal `prefix` —
 /// exactly the sequential odometer with those digits pinned — stopping at
 /// the item's first violation or when the shared run budget runs dry.
-fn explore_item(
+pub(crate) fn explore_item(
     scenario: &Scenario,
     depth: usize,
     prefix: &[usize],
@@ -184,6 +196,8 @@ fn explore_item(
         let (out, consumed) = run_with_source_counted(&mut exec, &mut rec, scenario.max_steps);
         let mut schedule = rec.into_log();
         res.runs += 1;
+        res.steps_executed += consumed;
+        res.steps_odometer += consumed;
         let mut tail_state = None;
         let report = if out == RunOutcome::Stopped {
             // The enumerated prefix ran dry mid-run: the fair tail from here
@@ -197,8 +211,10 @@ fn explore_item(
             } else {
                 tail_state = Some(fp);
                 let mut tail = RecordingSource::new(RotatingSource::default());
-                let (tail_out, _) =
+                let (tail_out, tail_steps) =
                     run_with_source_counted(&mut exec, &mut tail, scenario.max_steps - consumed);
+                res.steps_executed += tail_steps;
+                res.steps_odometer += tail_steps;
                 schedule.extend(tail.into_log());
                 Some(exec.report(tail_out == RunOutcome::Quiescent))
             }
@@ -233,16 +249,22 @@ fn explore_item(
     }
 }
 
-/// Parallel, dedup-pruned version of
-/// [`explore_exhaustive`](crate::explore_exhaustive): same tree, same
-/// checks, same canonical counterexample, spread over
-/// [`ExploreConfig::resolved_threads`] workers.
-pub fn explore_exhaustive_par(
+/// The shared worker-pool scaffolding of the parallel exhaustive engines:
+/// claims work items from a shared queue, skips items beyond the lowest
+/// violating index, and merges deterministically. `run_item` is the
+/// per-item walk — the restart-from-scratch odometer ([`explore_item`]) or
+/// the snapshotting DFS ([`crate::dfs`]).
+pub(crate) fn exhaustive_pool<F>(
     scenario: &Scenario,
     depth: usize,
     max_runs: u64,
     config: &ExploreConfig,
-) -> ExploreStats {
+    run_item: F,
+) -> ExploreStats
+where
+    F: Fn(&Scenario, usize, &[usize], &AtomicU64, u64, Option<&mut VisitedSet>) -> ItemResult
+        + Sync,
+{
     let items = exhaustive_items(scenario, depth);
     let threads = config.resolved_threads().clamp(1, items.len().max(1));
     let next_item = AtomicUsize::new(0);
@@ -250,7 +272,7 @@ pub fn explore_exhaustive_par(
     // Lowest item index known to hold a violation; items beyond it can only
     // yield canonically-later counterexamples, so workers skip them.
     let best_item = AtomicUsize::new(usize::MAX);
-    let per_worker: Vec<(u64, Vec<(usize, ItemResult)>)> = std::thread::scope(|scope| {
+    let per_worker: Vec<WorkerTally> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
@@ -266,7 +288,7 @@ pub fn explore_exhaustive_par(
                         if i > best_item.load(Ordering::Relaxed) {
                             continue;
                         }
-                        let r = explore_item(
+                        let r = run_item(
                             scenario,
                             depth,
                             &items[i],
@@ -280,7 +302,7 @@ pub fn explore_exhaustive_par(
                         }
                         results.push((i, r));
                     }
-                    (runs, results)
+                    (runs, 0, results)
                 })
             })
             .collect();
@@ -291,6 +313,19 @@ pub fn explore_exhaustive_par(
     });
 
     merge(scenario, per_worker, config.shrink_budget)
+}
+
+/// Parallel, dedup-pruned version of
+/// [`explore_exhaustive`](crate::explore_exhaustive): same tree, same
+/// checks, same canonical counterexample, spread over
+/// [`ExploreConfig::resolved_threads`] workers.
+pub fn explore_exhaustive_par(
+    scenario: &Scenario,
+    depth: usize,
+    max_runs: u64,
+    config: &ExploreConfig,
+) -> ExploreStats {
+    exhaustive_pool(scenario, depth, max_runs, config, explore_item)
 }
 
 /// Parallel version of [`explore_swarm`](crate::explore_swarm): worker `w`
@@ -307,13 +342,14 @@ pub fn explore_swarm_par(
     // Lowest violating seed found so far; stripes are ascending, so a
     // worker whose next seed is beyond it cannot improve the answer.
     let best_seed = AtomicU64::new(u64::MAX);
-    let per_worker: Vec<(u64, Vec<(usize, ItemResult)>)> = std::thread::scope(|scope| {
+    let per_worker: Vec<WorkerTally> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 let seeds = seeds.clone();
                 let best_seed = &best_seed;
                 scope.spawn(move || {
                     let mut runs = 0u64;
+                    let mut steps = 0u64;
                     let mut results = Vec::new();
                     let mut seed = seeds.start + w as u64;
                     while seed < seeds.end {
@@ -321,8 +357,12 @@ pub fn explore_swarm_par(
                             break;
                         }
                         let mut source = RecordingSource::new(RandomSource::new(seed));
-                        let report = scenario.run(&mut source);
+                        let mut exec = scenario.runtime_executor();
+                        let (out, consumed) =
+                            run_with_source_counted(&mut exec, &mut source, scenario.max_steps);
+                        let report = exec.report(out == RunOutcome::Quiescent);
                         runs += 1;
+                        steps += consumed;
                         if let Err(violation) = check_all(&report, scenario.variant) {
                             best_seed.fetch_min(seed, Ordering::Relaxed);
                             results.push((
@@ -339,7 +379,7 @@ pub fn explore_swarm_par(
                         };
                         seed = next;
                     }
-                    (runs, results)
+                    (runs, steps, results)
                 })
             })
             .collect();
@@ -352,24 +392,35 @@ pub fn explore_swarm_par(
     merge(scenario, per_worker, config.shrink_budget)
 }
 
-/// Deterministic merge: sums the run/dedup tallies, and packages the
+/// Deterministic merge: sums the run/dedup/step tallies, and packages the
 /// violation of the lowest item index (shrunk once, after the merge).
-fn merge(
+///
+/// Each per-worker entry is `(runs, loose_steps, item results)`, where
+/// `loose_steps` covers steps not attributed to any item (the swarm counts
+/// at the worker level; the exhaustive pools pass 0 and count per item).
+pub(crate) fn merge(
     scenario: &Scenario,
-    per_worker: Vec<(u64, Vec<(usize, ItemResult)>)>,
+    per_worker: Vec<WorkerTally>,
     shrink_budget: u64,
 ) -> ExploreStats {
     let mut worker_runs = Vec::with_capacity(per_worker.len());
     let mut runs = 0u64;
     let mut dedup_hits = 0u64;
+    let mut steps_executed = 0u64;
+    let mut snapshots_taken = 0u64;
+    let mut steps_avoided = 0u64;
     let mut capped = false;
     let mut best: Option<(usize, Vec<ChoiceStep>, SpecViolation, u64)> = None;
-    for (wr, results) in per_worker {
+    for (wr, loose_steps, results) in per_worker {
         worker_runs.push(wr);
         runs += wr;
+        steps_executed += loose_steps;
         for (idx, r) in results {
             dedup_hits += r.dedup_hits;
             capped |= r.capped;
+            steps_executed += r.steps_executed;
+            snapshots_taken += r.snapshots;
+            steps_avoided += r.steps_odometer - r.steps_executed;
             if let Some((schedule, violation, seed)) = r.violation {
                 if best.as_ref().is_none_or(|(bi, ..)| idx < *bi) {
                     best = Some((idx, schedule, violation, seed));
@@ -391,6 +442,9 @@ fn merge(
         outcome,
         dedup_hits,
         worker_runs,
+        steps_executed,
+        snapshots_taken,
+        steps_avoided,
     }
 }
 

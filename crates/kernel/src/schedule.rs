@@ -170,6 +170,34 @@ impl<S: ScheduleSource> ScheduleSource for RecordingSource<S> {
     }
 }
 
+/// Like [`RecordingSource`], but appending into a caller-owned log buffer —
+/// the allocation-free form the exhaustive explorer's per-run loop uses
+/// (clear the buffer, run, read it back; no `Vec` is created per run).
+#[derive(Debug)]
+pub struct RecordInto<'a, S> {
+    inner: S,
+    log: &'a mut Vec<ChoiceStep>,
+}
+
+impl<'a, S: ScheduleSource> RecordInto<'a, S> {
+    /// Records the choices of `inner` by appending to `log` (which is *not*
+    /// cleared — the caller owns its lifecycle).
+    pub fn new(inner: S, log: &'a mut Vec<ChoiceStep>) -> Self {
+        RecordInto { inner, log }
+    }
+}
+
+impl<S: ScheduleSource> ScheduleSource for RecordInto<'_, S> {
+    fn next_choice(&mut self, options: &[(ProcessId, usize)]) -> Option<(usize, usize)> {
+        let (idx, choice) = self.inner.next_choice(options)?;
+        self.log.push(ChoiceStep {
+            pid: options[idx].0,
+            choice,
+        });
+        Some((idx, choice))
+    }
+}
+
 /// Follows a prescribed *path* through the choice tree, recording the
 /// branching factor met at every depth — the cursor of the bounded
 /// exhaustive explorer.
@@ -194,6 +222,18 @@ impl PathSource {
             cursor: 0,
             branching: Vec::new(),
         }
+    }
+
+    /// Rewinds the source onto a new `path` without reallocating: the path
+    /// buffer is overwritten in place, the cursor returns to depth 0 and the
+    /// recorded branching factors are cleared. Equivalent to (but cheaper
+    /// than) constructing `PathSource::new(path.to_vec())` — the exhaustive
+    /// explorer calls this once per enumerated run.
+    pub fn reset_to(&mut self, path: &[usize]) {
+        self.path.clear();
+        self.path.extend_from_slice(path);
+        self.cursor = 0;
+        self.branching.clear();
     }
 
     /// The branching factor (total flat options) met at each visited depth.
@@ -297,6 +337,40 @@ mod tests {
         let mut rep = ReplaySource::new(rec.into_log());
         let replayed: Vec<_> = (0..20).map(|_| rep.next_choice(&o).unwrap()).collect();
         assert_eq!(picked, replayed);
+    }
+
+    #[test]
+    fn record_into_appends_to_caller_buffer() {
+        let o = opts(&[(0, 2), (3, 1)]);
+        let mut log = Vec::new();
+        let picked: Vec<_> = {
+            let mut rec = RecordInto::new(RandomSource::new(11), &mut log);
+            (0..20).map(|_| rec.next_choice(&o).unwrap()).collect()
+        };
+        // byte-for-byte the same record an owning RecordingSource produces
+        let mut owning = RecordingSource::new(RandomSource::new(11));
+        for _ in 0..20 {
+            owning.next_choice(&o).unwrap();
+        }
+        assert_eq!(log, owning.into_log());
+        let mut rep = ReplaySource::new(log);
+        let replayed: Vec<_> = (0..20).map(|_| rep.next_choice(&o).unwrap()).collect();
+        assert_eq!(picked, replayed);
+    }
+
+    #[test]
+    fn path_source_reset_to_matches_fresh_construction() {
+        let o = opts(&[(0, 2), (1, 3)]);
+        let mut reused = PathSource::new(vec![9, 9, 9]);
+        let _ = reused.next_choice(&o);
+        let _ = reused.next_choice(&o);
+        reused.reset_to(&[0, 1, 2, 4, 99]);
+        let mut fresh = PathSource::new(vec![0, 1, 2, 4, 99]);
+        for _ in 0..6 {
+            assert_eq!(reused.next_choice(&o), fresh.next_choice(&o));
+        }
+        assert_eq!(reused.branching(), fresh.branching());
+        assert_eq!(reused.depth_reached(), fresh.depth_reached());
     }
 
     #[test]

@@ -64,7 +64,12 @@ pub enum RunOutcome {
 }
 
 /// The simulator: automata + buffer + failure pattern + detector history.
-#[derive(Debug)]
+///
+/// `Clone` deep-copies the entire simulation state (automata, in-flight
+/// messages, trace, scheduler cursor and RNG), so a clone restarted from a
+/// checkpoint replays bit-for-bit — the [`ScheduleSource`]-driven explorer
+/// relies on this for prefix-sharing DFS snapshots.
+#[derive(Debug, Clone)]
 pub struct Simulator<A: Automaton, H: History<Value = A::Fd>> {
     automata: Vec<A>,
     buffer: MessageBuffer<A::Msg>,

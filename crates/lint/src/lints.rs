@@ -5,7 +5,7 @@
 //! | D001 | error   | `HashMap`/`HashSet` in deterministic crates           |
 //! | D002 | error   | wall-clock / entropy sources in deterministic crates  |
 //! | D003 | warn    | `unwrap()`, `panic!`, undocumented `expect()` in protocol code |
-//! | P001 | error   | `Executor` impl without a compile-time `Send` assert  |
+//! | P001 | error   | `Executor`/`SnapshotExec` impl without a `Send` assert |
 //! | P002 | error   | floating-point arithmetic in digest/fingerprint code  |
 //! | S001 | error   | `gam-lint: allow(...)` without a `reason`             |
 //! | S002 | warn    | a reasoned allow that silences nothing                |
@@ -52,7 +52,7 @@ pub const LINTS: &[LintInfo] = &[
     LintInfo {
         id: "P001",
         default_severity: Severity::Error,
-        summary: "Executor impl without a compile-time Send assertion",
+        summary: "Executor impl or snapshot type without a compile-time Send assertion",
     },
     LintInfo {
         id: "P002",
@@ -350,20 +350,36 @@ fn p002_floats_in_digest(ctx: &mut FileCtx, config: &Config, out: &mut Vec<Diagn
     }
 }
 
-/// One `impl … Executor for Target` site found by the global P001 pass.
+/// Which Send obligation a P001 site records: the executor type itself, or
+/// the checkpoint type a `SnapshotExec` impl exposes as `type Snapshot`.
+#[derive(Debug, Clone, Copy)]
+enum SiteKind {
+    Executor,
+    Snapshot,
+}
+
+/// A Send obligation as parsed, before it is attributed to a file:
+/// `(line, asserted type, kind)`.
+type RawSite = (u32, String, SiteKind);
+
+/// One `impl … Executor for Target` site (or the `type Snapshot = …` of an
+/// `impl … SnapshotExec`) found by the global P001 pass.
 #[derive(Debug)]
 struct ImplSite {
     /// Index of the owning [`FileCtx`] in the scan set.
     file_idx: usize,
     line: u32,
     target: String,
+    kind: SiteKind,
 }
 
 /// The cross-file state of P001 — every `Executor` impl must be covered by
 /// a compile-time `assert_send::<…>` somewhere in the scanned set, because
 /// the parallel explorers move one executor per worker across threads; an
 /// uncovered impl compiles fine until the first `--threads N` run melts
-/// down at a distance.
+/// down at a distance. `SnapshotExec` impls owe the same assert for their
+/// checkpoint type: the parallel DFS holds per-worker stacks of snapshots,
+/// so a `!Send` snapshot breaks exploration just as remotely.
 #[derive(Debug, Default)]
 pub struct SendAssertPass {
     impls: Vec<ImplSite>,
@@ -378,12 +394,13 @@ impl SendAssertPass {
         while ci < n {
             let t = ctx.code_token(ci);
             if t.is_ident("impl") {
-                if let Some((site, next)) = parse_executor_impl(ctx, ci) {
-                    if let Some((line, target)) = site {
+                if let Some((sites, next)) = parse_executor_impl(ctx, ci) {
+                    for (line, target, kind) in sites {
                         self.impls.push(ImplSite {
                             file_idx,
                             line,
                             target,
+                            kind,
                         });
                     }
                     ci = next;
@@ -423,17 +440,25 @@ impl SendAssertPass {
                 continue;
             }
             let ctx = &mut ctxs[site.file_idx];
+            let message = match site.kind {
+                SiteKind::Executor => format!(
+                    "`impl Executor for {}` has no compile-time Send assertion: parallel \
+                     explorers move executors across worker threads",
+                    site.target
+                ),
+                SiteKind::Snapshot => format!(
+                    "snapshot type `{}` has no compile-time Send assertion: the parallel \
+                     DFS holds per-worker stacks of snapshots",
+                    site.target
+                ),
+            };
             emit(
                 ctx,
                 config,
                 out,
                 "P001",
                 site.line,
-                format!(
-                    "`impl Executor for {}` has no compile-time Send assertion: parallel \
-                     explorers move executors across worker threads",
-                    site.target
-                ),
+                message,
                 Some(format!(
                     "add `const _: () = {{ const fn assert_send<T: Send>() {{}} \
                      assert_send::<{}>(); }};`",
@@ -445,11 +470,13 @@ impl SendAssertPass {
 }
 
 /// Parses an `impl` item header starting at code index `ci`. Returns
-/// `Some((executor_site, resume_index))` where `executor_site` is
-/// `Some((line, target))` when the header is `impl … Executor for Target`
-/// with a non-generic target. Returns `None` when the header is not an
-/// `Executor`-trait impl (inherent impls, other traits).
-fn parse_executor_impl(ctx: &FileCtx, ci: usize) -> Option<(Option<(u32, String)>, usize)> {
+/// `Some((sites, resume_index))` where `sites` holds the Send obligations
+/// the impl creates: the target of an `impl … Executor for Target`, and/or
+/// the `type Snapshot = …` type of an `impl … SnapshotExec for Target`.
+/// Generic-parameter targets are exempt (blanket impls: Send-ness is the
+/// concrete type's concern). Returns `None` when the header is neither
+/// trait's impl (inherent impls, other traits).
+fn parse_executor_impl(ctx: &FileCtx, ci: usize) -> Option<(Vec<RawSite>, usize)> {
     let n = ctx.code.len();
     let impl_line = ctx.code_token(ci).line;
     let mut j = ci + 1;
@@ -497,22 +524,94 @@ fn parse_executor_impl(ctx: &FileCtx, ci: usize) -> Option<(Option<(u32, String)
         }
         j += 1;
     }
-    if j >= n || last_ident.as_deref() != Some("Executor") {
-        return None;
-    }
+    let kind = match last_ident.as_deref() {
+        Some("Executor") => SiteKind::Executor,
+        Some("SnapshotExec") => SiteKind::Snapshot,
+        _ => return None,
+    };
     // Target: skip `&`/`mut`, take the first ident.
     j += 1;
     while j < n && (ctx.code_token(j).is_punct('&') || ctx.code_token(j).is_ident("mut")) {
         j += 1;
     }
     if j >= n || ctx.code_token(j).kind != TokenKind::Ident {
-        return Some((None, j));
+        return Some((vec![], j));
     }
     let target = ctx.code_token(j).text.clone();
-    if generics.contains(&target) {
-        // Blanket impl over a type parameter (e.g. `impl<E: Executor>
-        // Executor for &mut E`): Send-ness is the concrete type's concern.
-        return Some((None, j + 1));
+    let mut sites = Vec::new();
+    match kind {
+        SiteKind::Executor => {
+            // Blanket impl over a type parameter (e.g. `impl<E: Executor>
+            // Executor for &mut E`): Send-ness is the concrete type's
+            // concern.
+            if !generics.contains(&target) {
+                sites.push((impl_line, target, SiteKind::Executor));
+            }
+        }
+        SiteKind::Snapshot => {
+            // The executor itself is checked at its `Executor` impl
+            // (SnapshotExec is a subtrait, so one exists). What this impl
+            // adds is the checkpoint type: find `type Snapshot = X` in the
+            // impl body, past any `where` clause.
+            if let Some((line, snap)) = parse_snapshot_assoc(ctx, j + 1) {
+                if !generics.contains(&snap) {
+                    sites.push((line, snap, SiteKind::Snapshot));
+                }
+            }
+        }
     }
-    Some((Some((impl_line, target)), j + 1))
+    Some((sites, j + 1))
+}
+
+/// Scans forward from code index `k` (just past a `SnapshotExec` impl's
+/// target ident) to the impl body and extracts the first type ident of its
+/// `type Snapshot = X` item, with the line it sits on.
+fn parse_snapshot_assoc(ctx: &FileCtx, mut k: usize) -> Option<(u32, String)> {
+    let n = ctx.code.len();
+    // Find the body `{` at angle depth 0 — generic arguments on the target
+    // and `where` bounds like `History<Value = A::Fd>` may precede it.
+    let mut angle = 0i32;
+    loop {
+        if k >= n {
+            return None;
+        }
+        let a = ctx.code_token(k);
+        if a.is_punct('<') {
+            angle += 1;
+        } else if a.is_punct('>') && !ctx.code_token(k - 1).is_punct('-') {
+            angle -= 1;
+        } else if angle == 0 && a.is_punct(';') {
+            return None;
+        } else if angle == 0 && a.is_punct('{') {
+            break;
+        }
+        k += 1;
+    }
+    // Brace-match the body, looking for `type Snapshot =` at item level.
+    let mut braces = 1i32;
+    k += 1;
+    while k < n && braces > 0 {
+        let a = ctx.code_token(k);
+        if a.is_punct('{') {
+            braces += 1;
+        } else if a.is_punct('}') {
+            braces -= 1;
+        } else if braces == 1
+            && k + 2 < n
+            && a.is_ident("type")
+            && ctx.code_token(k + 1).is_ident("Snapshot")
+            && ctx.code_token(k + 2).is_punct('=')
+        {
+            let mut m = k + 3;
+            while m < n && !ctx.code_token(m).is_punct(';') {
+                if ctx.code_token(m).kind == TokenKind::Ident {
+                    return Some((a.line, ctx.code_token(m).text.clone()));
+                }
+                m += 1;
+            }
+            return None;
+        }
+        k += 1;
+    }
+    None
 }

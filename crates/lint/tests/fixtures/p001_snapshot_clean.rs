@@ -1,0 +1,35 @@
+// golden: zero diagnostics — the checkpoint type is asserted Send, and the
+// blanket impl's associated type resolves through a type parameter
+pub struct RewindExecutor<H> {
+    history: H,
+}
+pub struct RewindSnapshot<H> {
+    history: H,
+}
+
+impl<H: Clone> SnapshotExec for RewindExecutor<H>
+where
+    H: PartialEq<Option<u64>>,
+{
+    type Snapshot = RewindSnapshot<H>;
+
+    fn snapshot(&self) -> RewindSnapshot<H> {
+        RewindSnapshot {
+            history: self.history.clone(),
+        }
+    }
+}
+
+impl<E: SnapshotExec> SnapshotExec for &mut E {
+    type Snapshot = E::Snapshot;
+
+    fn snapshot(&self) -> E::Snapshot {
+        (**self).snapshot()
+    }
+}
+
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<RewindExecutor<u64>>();
+    assert_send::<RewindSnapshot<u64>>();
+};

@@ -1,0 +1,21 @@
+// golden: P001 fires — a SnapshotExec impl whose checkpoint type carries
+// no assert_send (the executor itself is covered)
+pub struct RewindExecutor;
+pub struct BareSnapshot;
+
+impl Executor for RewindExecutor {
+    fn step(&mut self) {}
+}
+
+impl SnapshotExec for RewindExecutor {
+    type Snapshot = BareSnapshot;
+
+    fn snapshot(&self) -> BareSnapshot {
+        BareSnapshot
+    }
+}
+
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<RewindExecutor>();
+};

@@ -1,0 +1,18 @@
+// golden: the uncovered checkpoint type carries a reasoned allow; zero
+// diagnostics
+pub struct PinnedExecutor;
+pub struct PinnedSnapshot;
+
+impl SnapshotExec for PinnedExecutor {
+    // gam-lint: allow(P001, reason = "snapshot holds an Rc; this engine only runs single-threaded")
+    type Snapshot = PinnedSnapshot;
+
+    fn snapshot(&self) -> PinnedSnapshot {
+        PinnedSnapshot
+    }
+}
+
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<PinnedExecutor>();
+};

@@ -120,6 +120,20 @@ fn p001_fires_suppresses_and_passes() {
 }
 
 #[test]
+fn p001_snapshot_type_must_be_asserted_send() {
+    let cfg = config();
+    // A SnapshotExec impl owes a Send assert for its checkpoint type: the
+    // parallel DFS holds per-worker stacks of snapshots. The diagnostic
+    // anchors on the `type Snapshot` line.
+    let fired = scan_fixture("p001_snapshot_fires.rs", ELSEWHERE, &cfg);
+    assert_eq!(findings(&fired), vec![("P001", 11)], "{}", fired.to_text());
+    let suppressed = scan_fixture("p001_snapshot_suppressed.rs", ELSEWHERE, &cfg);
+    assert_eq!(findings(&suppressed), vec![], "{}", suppressed.to_text());
+    let clean = scan_fixture("p001_snapshot_clean.rs", ELSEWHERE, &cfg);
+    assert_eq!(findings(&clean), vec![], "{}", clean.to_text());
+}
+
+#[test]
 fn p001_assert_in_another_file_covers_the_impl() {
     let cfg = config();
     let fixture = format!(

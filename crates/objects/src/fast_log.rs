@@ -137,7 +137,7 @@ enum AcState {
 }
 
 /// One process of the fast log: replica + client + backup-consensus member.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FastLogProcess {
     me: ProcessId,
     /// `g ∩ h` — the fast-path participants.

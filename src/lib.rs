@@ -67,10 +67,12 @@ pub mod prelude {
     };
     // note: `gam_engine::TraceEvent` stays out of the prelude — `gam_kernel`
     // exports a generic `TraceEvent<E>` of its own; qualify to disambiguate.
-    pub use gam_engine::{run_fair, run_with_source, Executor, KernelExecutor, RuntimeExecutor};
+    pub use gam_engine::{
+        run_fair, run_with_source, Executor, KernelExecutor, RuntimeExecutor, SnapshotExec,
+    };
     pub use gam_explore::{
-        explore_exhaustive, explore_exhaustive_par, explore_swarm, explore_swarm_par,
-        ExploreConfig, Repro, Scenario,
+        explore_exhaustive, explore_exhaustive_dfs, explore_exhaustive_dfs_par,
+        explore_exhaustive_par, explore_swarm, explore_swarm_par, ExploreConfig, Repro, Scenario,
     };
     pub use gam_groups::{topology, GroupId, GroupSet, GroupSystem};
     pub use gam_kernel::{

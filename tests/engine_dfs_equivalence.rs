@@ -1,0 +1,173 @@
+//! The snapshotting DFS engine is *the same exploration* as the odometer
+//! engine — only cheaper.
+//!
+//! `gam_explore::explore_exhaustive_dfs` (and its parallel pool) must be
+//! indistinguishable from the restart-from-scratch odometer engines in
+//! everything a user can cite: run counts, coverage outcome, dedup
+//! decisions, and — on violating workloads — the byte-identical shrunk
+//! `Repro`. On top of that the step accounting must close exactly:
+//! `steps_executed + steps_avoided` of the DFS equals `steps_executed` of
+//! the odometer engine on the same tree with the same dedup decisions,
+//! with a strict saving whenever the tree actually branches.
+
+use genuine_multicast::explore::{
+    explore_exhaustive, explore_exhaustive_dfs, explore_exhaustive_dfs_par, Outcome,
+    DEFAULT_SHRINK_BUDGET,
+};
+use genuine_multicast::prelude::*;
+
+fn config(threads: usize, dedup_capacity: usize) -> ExploreConfig {
+    ExploreConfig {
+        threads,
+        shrink_budget: DEFAULT_SHRINK_BUDGET,
+        dedup_capacity,
+    }
+}
+
+/// The fixture topologies of `tests/fixtures/` plus the smallest branching
+/// system, with per-topology exploration depths kept test-sized.
+fn fixture_scenarios() -> Vec<(&'static str, Scenario, usize)> {
+    vec![
+        (
+            "single-group(2)",
+            Scenario::one_per_group(&topology::single_group(2), 20_000),
+            3,
+        ),
+        (
+            "two-overlapping(3,1)",
+            Scenario::one_per_group(&topology::two_overlapping(3, 1), 50_000),
+            3,
+        ),
+        (
+            "ring(3,2)",
+            Scenario::one_per_group(&topology::ring(3, 2), 100_000),
+            3,
+        ),
+        (
+            "fig1",
+            Scenario::one_per_group(&topology::fig1(), 200_000),
+            2,
+        ),
+    ]
+}
+
+#[test]
+fn dfs_matches_odometer_on_every_fixture_topology() {
+    for (name, scenario, depth) in fixture_scenarios() {
+        let seq = explore_exhaustive(&scenario, depth, 100_000, DEFAULT_SHRINK_BUDGET);
+        assert!(seq.clean(), "{name}: odometer found {:?}", seq.violations);
+        let dfs = explore_exhaustive_dfs(&scenario, depth, 100_000, DEFAULT_SHRINK_BUDGET);
+        assert!(dfs.clean(), "{name}: DFS found {:?}", dfs.violations);
+        assert_eq!(dfs.runs, seq.runs, "{name}: coverage diverged");
+        assert_eq!(dfs.outcome, seq.outcome, "{name}");
+        assert_eq!(dfs.dedup_hits, 0, "{name}: sequential engines don't dedup");
+        // The accounting closes exactly, and sharing strictly saves.
+        assert_eq!(
+            dfs.steps_executed + dfs.steps_avoided,
+            seq.steps_executed,
+            "{name}: step accounting must close"
+        );
+        assert!(
+            dfs.steps_executed < seq.steps_executed,
+            "{name}: prefix sharing saved nothing ({} vs {})",
+            dfs.steps_executed,
+            seq.steps_executed
+        );
+        assert!(dfs.snapshots_taken > 0, "{name}");
+    }
+}
+
+#[test]
+fn parallel_dfs_matches_parallel_odometer_coverage() {
+    let scenario = Scenario::one_per_group(&topology::two_overlapping(3, 1), 50_000);
+    for threads in [1, 2, 4] {
+        for dedup_capacity in [0, 1 << 12] {
+            let odo =
+                explore_exhaustive_par(&scenario, 3, 100_000, &config(threads, dedup_capacity));
+            let dfs =
+                explore_exhaustive_dfs_par(&scenario, 3, 100_000, &config(threads, dedup_capacity));
+            assert!(odo.clean() && dfs.clean(), "{threads}t/{dedup_capacity}");
+            assert_eq!(dfs.runs, odo.runs, "{threads}t/{dedup_capacity}");
+            assert_eq!(dfs.outcome, odo.outcome);
+            if threads == 1 {
+                // At one worker the item walk order — hence every dedup
+                // decision — is deterministic, so the engines must agree
+                // hit for hit and the step accounting closes exactly.
+                assert_eq!(dfs.dedup_hits, odo.dedup_hits, "dedup {dedup_capacity}");
+                assert_eq!(
+                    dfs.steps_executed + dfs.steps_avoided,
+                    odo.steps_executed,
+                    "dedup {dedup_capacity}: step accounting must close"
+                );
+                assert!(dfs.steps_executed < odo.steps_executed);
+            }
+        }
+    }
+}
+
+/// Every schedule of this scenario violates termination (the step budget is
+/// far below quiescence) — the adversarial case for violation reporting.
+fn starved_scenario() -> Scenario {
+    Scenario::one_per_group(&topology::two_overlapping(3, 1), 12)
+}
+
+#[test]
+fn violating_workload_yields_byte_identical_shrunk_counterexample() {
+    let scenario = starved_scenario();
+    let seq = explore_exhaustive(&scenario, 3, 10_000, DEFAULT_SHRINK_BUDGET);
+    assert_eq!(seq.outcome, Outcome::ViolationFound);
+    let reference = &seq.violations[0];
+    assert_eq!(reference.violation.property, "termination");
+
+    let dfs = explore_exhaustive_dfs(&scenario, 3, 10_000, DEFAULT_SHRINK_BUDGET);
+    assert_eq!(dfs.outcome, Outcome::ViolationFound);
+    assert_eq!(
+        dfs.violations[0].repro.to_text(),
+        reference.repro.to_text(),
+        "sequential DFS repro diverged"
+    );
+    assert_eq!(
+        dfs.violations[0].repro.trace_hash(),
+        reference.repro.trace_hash()
+    );
+
+    for threads in [1, 2, 4] {
+        for dedup_capacity in [0, 1 << 12] {
+            let par =
+                explore_exhaustive_dfs_par(&scenario, 3, 10_000, &config(threads, dedup_capacity));
+            assert_eq!(par.outcome, Outcome::ViolationFound, "{threads} threads");
+            let cx = &par.violations[0];
+            assert_eq!(
+                cx.repro.to_text(),
+                reference.repro.to_text(),
+                "{threads} threads, dedup {dedup_capacity}: repro text diverged"
+            );
+            assert_eq!(
+                cx.repro.trace_hash(),
+                reference.repro.trace_hash(),
+                "{threads} threads, dedup {dedup_capacity}: trace digest diverged"
+            );
+            assert_eq!(cx.violation.property, reference.violation.property);
+        }
+    }
+}
+
+#[test]
+fn run_cap_stops_both_engines_at_the_same_leaf() {
+    let scenario = Scenario::one_per_group(&topology::two_overlapping(3, 1), 50_000);
+    let seq = explore_exhaustive(&scenario, 4, 7, DEFAULT_SHRINK_BUDGET);
+    let dfs = explore_exhaustive_dfs(&scenario, 4, 7, DEFAULT_SHRINK_BUDGET);
+    for (stats, label) in [(&seq, "odometer"), (&dfs, "dfs")] {
+        assert_eq!(stats.runs, 7, "{label}");
+        assert_eq!(stats.outcome, Outcome::RunCapped, "{label}");
+        assert!(stats.violations.is_empty(), "{label}");
+    }
+    // The capped enumerations are the same leaves, so the DFS's
+    // odometer-equivalent cost is the odometer's actual cost.
+    assert_eq!(dfs.steps_executed + dfs.steps_avoided, seq.steps_executed);
+
+    let par = explore_exhaustive_dfs_par(&scenario, 4, 7, &config(1, 0));
+    assert_eq!(par.runs, 7);
+    assert_eq!(par.outcome, Outcome::RunCapped);
+    assert!(par.violations.is_empty());
+}
