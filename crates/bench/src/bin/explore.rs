@@ -20,6 +20,7 @@ use gam_explore::{
     explore_swarm_par, ExploreConfig, ExploreStats, Scenario, DEFAULT_SHRINK_BUDGET,
 };
 use gam_groups::topology;
+use gam_scenarios::fixture;
 
 fn flag_value(args: &[String], name: &str) -> Option<u64> {
     args.iter()
@@ -92,7 +93,7 @@ fn main() {
 
     // ---- Exhaustive enumeration over the first choices of fig1 ----------
     println!("exhaustive[{engine}]: fig1, first {depth} choices ({threads} threads)");
-    let scenario = Scenario::one_per_group(&topology::fig1(), 200_000);
+    let scenario = Scenario::one_per_group(&fixture("fig1").system(), 200_000);
     let (seq, par) = if engine == "dfs" {
         (
             explore_exhaustive_dfs(&scenario, depth, run_cap, config.shrink_budget),
@@ -158,8 +159,11 @@ fn main() {
 
     // ---- Kernel-level (message passing) swarm with replay check ----------
     for (name, gs) in [
-        ("two_overlapping(3,1)", topology::two_overlapping(3, 1)),
-        ("ring(3,2)", topology::ring(3, 2)),
+        (
+            "two_overlapping(3,1)",
+            fixture("two_overlapping_3_1").system(),
+        ),
+        ("ring(3,2)", fixture("ring_3_2").system()),
     ] {
         let mut bad = 0usize;
         for seed in 0..kernel_seeds {

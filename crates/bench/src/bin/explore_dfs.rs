@@ -30,7 +30,7 @@ use gam_explore::{
     explore_exhaustive, explore_exhaustive_dfs, explore_exhaustive_dfs_par, explore_exhaustive_par,
     ExploreConfig, ExploreStats, Scenario, DEFAULT_SHRINK_BUDGET,
 };
-use gam_groups::topology;
+use gam_scenarios::fixture;
 
 fn flag_value(args: &[String], name: &str) -> Option<u64> {
     args.iter()
@@ -72,7 +72,7 @@ fn main() {
     let max_depth = flag_value(&args, "--depth").unwrap_or(if quick { 3 } else { 4 }) as usize;
     let depths: Vec<usize> = (3..=max_depth.max(3)).collect();
     let run_cap = 200_000;
-    let scenario = Scenario::one_per_group(&topology::fig1(), 200_000);
+    let scenario = Scenario::one_per_group(&fixture("fig1").system(), 200_000);
 
     let mut rows = Vec::new();
     let mut gate_permille = 0u64;

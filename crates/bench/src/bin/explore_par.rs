@@ -30,7 +30,7 @@ use gam_explore::{
     explore_exhaustive_dfs_par, explore_exhaustive_par, explore_swarm_par, ExploreConfig,
     ExploreStats, Scenario,
 };
-use gam_groups::topology;
+use gam_scenarios::fixture;
 
 fn flag_value(args: &[String], name: &str) -> Option<u64> {
     args.iter()
@@ -78,7 +78,7 @@ fn main() {
     }
 
     // ---- Swarm throughput scaling ----------------------------------------
-    let (swarm_name, swarm_gs) = ("fig1", topology::fig1());
+    let (swarm_name, swarm_gs) = ("fig1", fixture("fig1").system());
     let swarm_scenario = Scenario::one_per_group(&swarm_gs, 500_000);
     println!("swarm scaling: {swarm_name}, {seeds} seeds, {cores} cores");
     let mut rungs = Vec::new();
@@ -114,9 +114,13 @@ fn main() {
 
     // ---- Exhaustive dedup pruning ----------------------------------------
     let (ex_name, ex_gs, depth) = if quick {
-        ("two_overlapping(3,1)", topology::two_overlapping(3, 1), 4)
+        (
+            "two_overlapping(3,1)",
+            fixture("two_overlapping_3_1").system(),
+            4,
+        )
     } else {
-        ("fig1", topology::fig1(), 4)
+        ("fig1", fixture("fig1").system(), 4)
     };
     let ex_scenario = Scenario::one_per_group(&ex_gs, 200_000);
     let run_cap = 50_000;

@@ -1,0 +1,206 @@
+//! The counterexample hunt loop: fresh seeds over the scenario corpus,
+//! explored under the full spec, violations shrunk by the delta-debugger
+//! into checked-in `.repro`/`.scn` pairs.
+//!
+//! Nightly CI runs this with a date-derived `--seed-base`, so every night
+//! samples a corpus slice no prior run has seen; the smoke job runs a fixed
+//! seed range under a tight budget. Either way the gates are the same:
+//! every finding must come with a shrunk repro that re-verifies
+//! (`unshrunk == 0`), and the standard corpus must hunt clean — a finding
+//! there is a real protocol bug, and the written pair under `target/hunt/`
+//! is the artifact to check in to `tests/fixtures/`.
+//!
+//! `--boundary` additionally hunts the cyclic families under the pairwise
+//! variation with the global-ordering re-check on: those findings are
+//! *expected* (the paper's solvability boundary, arXiv:2208.07650), and the
+//! gate is inverted — the hunt must find at least one, and it must shrink.
+//!
+//! `--prove-harness` runs a descriptor whose budget starves termination on
+//! every schedule and asserts the find → shrink → verify pipeline produces
+//! exactly one verified pair — so a "clean" nightly is evidence of a clean
+//! corpus, not of a broken detector.
+//!
+//! Run with: `cargo run --release -p gam-bench --bin scenario_hunt
+//!            [-- quick] [--seed-base B] [--instances N] [--boundary]
+//!            [--prove-harness]`
+//! Output:   stdout report + `target/experiments/scenario_hunt.json`
+//!           + `target/hunt/<name>.{repro,scn}` per finding
+
+use gam_bench::json::{write_experiment, Json};
+use gam_core::Variant;
+use gam_explore::{hunt, HuntConfig, HuntFinding, HuntReport};
+use gam_scenarios::{corpus, Family, ScnDescriptor, TrafficPlan};
+
+fn flag_value(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Writes a finding's `.repro`/`.scn` pair under `target/hunt/` and returns
+/// the stem the pair was written to.
+fn write_pair(finding: &HuntFinding, stem: &str) -> String {
+    std::fs::create_dir_all("target/hunt").expect("create target/hunt");
+    let repro_path = format!("target/hunt/{stem}.repro");
+    let scn_path = format!("target/hunt/{stem}.scn");
+    std::fs::write(&repro_path, finding.repro.to_text()).expect("write repro");
+    std::fs::write(&scn_path, format!("{}\n", finding.descriptor)).expect("write scn");
+    println!("  wrote {repro_path} + {scn_path} ({})", finding.property);
+    stem.to_string()
+}
+
+fn summarize(report: &HuntReport) -> (u64, u64, usize) {
+    (
+        report.total_runs(),
+        report.total_steps(),
+        report.findings().count(),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let boundary = args.iter().any(|a| a == "--boundary");
+    let prove_harness = args.iter().any(|a| a == "--prove-harness");
+    let seed_base = flag_value(&args, "--seed-base").unwrap_or(0);
+    let instances = flag_value(&args, "--instances").unwrap_or(if quick { 2 } else { 8 });
+    let cfg = if quick {
+        HuntConfig {
+            swarm_seeds: 0..4,
+            depth: 1,
+            run_cap: 50,
+            ..Default::default()
+        }
+    } else {
+        HuntConfig::default()
+    };
+
+    // Phase 1: the standard corpus at fresh seeds. Must hunt clean.
+    let descriptors: Vec<ScnDescriptor> = corpus()
+        .iter()
+        .flat_map(|(_, template)| {
+            (seed_base..seed_base + instances).map(|seed| template.with_seed(seed))
+        })
+        .collect();
+    println!(
+        "hunting {} descriptors (seeds {seed_base}..{})",
+        descriptors.len(),
+        seed_base + instances
+    );
+    let report = hunt(&descriptors, &cfg);
+    let (runs, steps, findings) = summarize(&report);
+    let mut pairs = Vec::new();
+    for (i, finding) in report.findings().enumerate() {
+        let d = ScnDescriptor::parse(&finding.descriptor).expect("finding descriptor parses");
+        let stem = format!("{}_{}_{}_{}", d.family.label(), d.seed, finding.property, i);
+        pairs.push(write_pair(finding, &stem));
+    }
+    println!("corpus: {runs} runs, {steps} steps, {findings} findings");
+
+    // Phase 2 (--boundary): the cyclic families under the pairwise
+    // variation with the global-ordering re-check. Findings expected.
+    let mut boundary_findings = 0usize;
+    let mut boundary_unshrunk = 0usize;
+    if boundary {
+        let mut cyclic: Vec<ScnDescriptor> = corpus()
+            .iter()
+            .filter(|(_, t)| t.family.known_acyclic() == Some(false))
+            .flat_map(|(_, t)| (seed_base..seed_base + instances).map(|seed| t.with_seed(seed)))
+            .collect();
+        for d in &mut cyclic {
+            d.variant = Variant::Pairwise;
+        }
+        let boundary_cfg = HuntConfig {
+            // Global delivery cycles under pairwise need schedule diversity:
+            // a wider swarm than the clean hunt, no exhaustive tail.
+            swarm_seeds: 0..if quick { 20 } else { 60 },
+            run_cap: 0,
+            ordering_boundary: true,
+            ..cfg.clone()
+        };
+        let breport = hunt(&cyclic, &boundary_cfg);
+        boundary_findings = breport.findings().count();
+        boundary_unshrunk = breport.unshrunk();
+        for (i, finding) in breport.findings().enumerate() {
+            let d = ScnDescriptor::parse(&finding.descriptor).expect("descriptor parses");
+            let stem = format!(
+                "boundary_{}_{}_{}_{}",
+                d.family.label(),
+                d.seed,
+                finding.property,
+                i
+            );
+            pairs.push(write_pair(finding, &stem));
+        }
+        println!(
+            "boundary: {} cyclic descriptors, {boundary_findings} findings",
+            cyclic.len()
+        );
+        assert!(
+            boundary_findings > 0,
+            "boundary mode found no global-ordering violation on cyclic \
+             pairwise scenarios — the detector is blind"
+        );
+        assert_eq!(boundary_unshrunk, 0, "boundary findings must shrink");
+    }
+
+    // Phase 3 (--prove-harness): a descriptor starved of budget violates
+    // termination on every schedule; exactly one verified pair proves the
+    // pipeline end to end.
+    let mut harness_proven = false;
+    if prove_harness {
+        let mut starved = ScnDescriptor::new(Family::Two {
+            size: 3,
+            overlap: 1,
+        });
+        starved.traffic = TrafficPlan::One;
+        starved.budget = 12;
+        let proof = hunt(&[starved], &cfg);
+        let found: Vec<&HuntFinding> = proof.findings().collect();
+        assert_eq!(found.len(), 1, "starved descriptor must yield one finding");
+        assert_eq!(found[0].property, "termination");
+        assert!(found[0].verified, "the proof pair must re-verify");
+        write_pair(found[0], "harness_proof_termination");
+        harness_proven = true;
+        println!("harness proof: starved budget found, shrunk and verified");
+    }
+
+    let record = Json::obj([
+        ("bench", Json::from("scenario_hunt")),
+        ("quick", Json::from(quick)),
+        ("seed_base", Json::from(seed_base)),
+        ("instances_per_family", Json::from(instances)),
+        ("descriptors", Json::from(descriptors.len() as u64)),
+        ("total_runs", Json::from(runs)),
+        ("total_steps", Json::from(steps)),
+        ("findings", Json::from(findings as u64)),
+        ("unshrunk", Json::from(report.unshrunk() as u64)),
+        ("boundary", Json::from(boundary)),
+        ("boundary_findings", Json::from(boundary_findings as u64)),
+        ("boundary_unshrunk", Json::from(boundary_unshrunk as u64)),
+        ("harness_proven", Json::from(harness_proven)),
+        (
+            "pairs",
+            Json::Arr(pairs.iter().map(|s| Json::from(s.as_str())).collect()),
+        ),
+    ]);
+    write_experiment("scenario_hunt.json", &record);
+
+    // The universal gates: every finding shrinks, and the standard corpus
+    // is clean. (Exit after writing the pairs, so a red nightly still
+    // leaves the artifacts to check in.)
+    assert_eq!(
+        report.unshrunk(),
+        0,
+        "a finding failed to shrink to a verifying repro"
+    );
+    assert_eq!(
+        findings, 0,
+        "the standard corpus produced counterexamples — inspect target/hunt/"
+    );
+    println!(
+        "hunt clean (seeds {seed_base}..{}, unshrunk 0)",
+        seed_base + instances
+    );
+}

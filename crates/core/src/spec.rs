@@ -377,6 +377,29 @@ pub fn check_all(report: &RunReport, variant: crate::Variant) -> Result<(), Spec
     }
 }
 
+/// Runs the single checker that reports violations of `property`
+/// (the [`SpecViolation::property`] string), regardless of variant.
+/// Returns `None` for an unknown property name.
+///
+/// This is the targeted companion of [`check_all`]: a counterexample that
+/// violates a property *outside* its variant's checked set — e.g. a
+/// pairwise-variant run violating global `ordering`, the paper's
+/// solvability boundary made executable — can still be re-validated and
+/// shrunk against exactly the property it was found under.
+pub fn check_named(report: &RunReport, property: &str) -> Option<Result<(), SpecViolation>> {
+    match property {
+        "integrity" => Some(check_integrity(report)),
+        "minimality" => Some(check_minimality(report)),
+        "termination" => Some(check_termination(report)),
+        "ordering" => Some(check_ordering(report)),
+        "strict-ordering" => Some(check_strict_ordering(report)),
+        "pairwise-ordering" => Some(check_pairwise_ordering(report)),
+        "pairwise-agreement" => Some(check_pairwise_agreement(report)),
+        "group-sequential" => Some(check_group_sequential(report)),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -489,6 +512,28 @@ mod tests {
             check_pairwise_ordering(&r).unwrap_err().property,
             "pairwise-ordering"
         );
+    }
+
+    #[test]
+    fn check_named_dispatches_every_property() {
+        let r = base_report();
+        for property in [
+            "integrity",
+            "minimality",
+            "termination",
+            "ordering",
+            "strict-ordering",
+            "pairwise-ordering",
+            "pairwise-agreement",
+            "group-sequential",
+        ] {
+            let verdict = check_named(&r, property).unwrap_or_else(|| panic!("{property} known"));
+            // the targeted checker reports under its own name when it fires
+            if let Err(v) = verdict {
+                assert_eq!(v.property, property);
+            }
+        }
+        assert!(check_named(&r, "no-such-property").is_none());
     }
 
     #[test]

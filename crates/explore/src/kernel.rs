@@ -119,11 +119,11 @@ pub fn replay_run(system: &GroupSystem, schedule: &[ChoiceStep], max_steps: u64)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gam_groups::topology;
+    use gam_scenarios::fixture;
 
     #[test]
     fn swarm_is_seed_deterministic() {
-        let gs = topology::ring(3, 2);
+        let gs = fixture("ring_3_2").system();
         let a = swarm_run(&gs, 3, 2_000_000);
         let b = swarm_run(&gs, 3, 2_000_000);
         assert_eq!(a.hash, b.hash);
@@ -135,7 +135,7 @@ mod tests {
 
     #[test]
     fn replay_reproduces_the_swarm_run() {
-        let gs = topology::two_overlapping(3, 1);
+        let gs = fixture("two_overlapping_3_1").system();
         let original = swarm_run(&gs, 11, 2_000_000);
         assert_eq!(original.outcome, RunOutcome::Quiescent);
         let replayed = replay_run(&gs, &original.schedule, 2_000_000);
@@ -148,7 +148,7 @@ mod tests {
     fn budget_cut_runs_pass_the_partial_checks() {
         // A tiny budget cuts the run mid-protocol; the partial-run checks
         // must not flag the valid prefix.
-        let gs = topology::ring(3, 2);
+        let gs = fixture("ring_3_2").system();
         let cut = swarm_run(&gs, 3, 25);
         assert_eq!(cut.outcome, RunOutcome::BudgetExhausted);
         assert_eq!(cut.violation, None, "{:?}", cut.violation);

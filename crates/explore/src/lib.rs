@@ -37,6 +37,7 @@
 
 mod dfs;
 mod explorer;
+pub mod hunt;
 pub mod kernel;
 mod par;
 mod repro;
@@ -48,6 +49,7 @@ pub use explorer::{
 };
 pub use gam_engine::digest::{self, fnv1a, trace_hash};
 pub use gam_engine::PrefixTail;
+pub use hunt::{hunt, hunt_one, HuntConfig, HuntFinding, HuntOutcome, HuntReport};
 pub use par::{explore_exhaustive_par, explore_swarm_par, ExploreConfig};
 pub use repro::Repro;
 pub use shrink::shrink;
@@ -89,6 +91,21 @@ impl Scenario {
             submissions,
             variant: Variant::Standard,
             max_steps,
+        }
+    }
+
+    /// The scenario addressed by a `gam-scn v1` descriptor: generated
+    /// topology, crash schedule and traffic trace, checked under the
+    /// descriptor's variant within the descriptor's budget. Deterministic —
+    /// equal descriptors yield equal scenarios on any thread or host.
+    pub fn from_descriptor(descriptor: &gam_scenarios::ScnDescriptor) -> Self {
+        let generated = descriptor.generate();
+        Scenario {
+            system: generated.system,
+            crashes: generated.crashes,
+            submissions: generated.submissions,
+            variant: descriptor.variant,
+            max_steps: descriptor.budget,
         }
     }
 

@@ -26,7 +26,7 @@
 
 use crate::trace_hash;
 use crate::{PrefixTail, Scenario};
-use gam_core::spec::check_all;
+use gam_core::spec::{check_all, check_named};
 use gam_core::{RunReport, Variant};
 use gam_groups::{GroupId, GroupSystem};
 use gam_kernel::schedule::{ChoiceStep, ReplaySource};
@@ -62,7 +62,10 @@ impl Repro {
 
     /// Replays the run and checks that its verdict matches [`Repro::property`]:
     /// a clean repro must pass `spec::check_all`, a counterexample must
-    /// still violate the recorded property.
+    /// still violate the recorded property. A property outside the
+    /// variant's `check_all` set (e.g. global `ordering` recorded against a
+    /// pairwise-variant scenario — the solvability-boundary shape) is
+    /// re-checked through the targeted `spec::check_named` checker.
     ///
     /// # Errors
     ///
@@ -74,8 +77,13 @@ impl Repro {
             (None, Ok(())) => Ok(report),
             (None, Err(v)) => Err(format!("clean repro now violates the spec: {v}")),
             (Some(p), Err(v)) if v.property == p => Ok(report),
-            (Some(p), Err(v)) => Err(format!("repro expected to violate {p}, but violated: {v}")),
-            (Some(p), Ok(())) => Err(format!("repro no longer violates {p}")),
+            (Some(p), other) => match check_named(&report, p) {
+                Some(Err(v)) if v.property == p => Ok(report),
+                Some(_) | None => match other {
+                    Err(v) => Err(format!("repro expected to violate {p}, but violated: {v}")),
+                    Ok(()) => Err(format!("repro no longer violates {p}")),
+                },
+            },
         }
     }
 

@@ -16,13 +16,21 @@
 //!    what remains highlights exactly the adversarial choices that matter.
 
 use crate::{PrefixTail, Scenario};
-use gam_core::spec::check_all;
+use gam_core::spec::{check_all, check_named};
 use gam_kernel::schedule::{ChoiceStep, ReplaySource};
 
+/// Re-runs the candidate and checks that `property` is still violated —
+/// first through the variant's `check_all` (the common case), then through
+/// the targeted [`check_named`] checker, so counterexamples found *outside*
+/// their variant's checked set (e.g. a pairwise-variant run violating
+/// global `ordering`) shrink just like in-variant ones.
 fn still_violates(scenario: &Scenario, schedule: &[ChoiceStep], property: &str) -> bool {
     let mut source = PrefixTail::new(ReplaySource::new(schedule.to_vec()));
     let report = scenario.run(&mut source);
-    matches!(check_all(&report, scenario.variant), Err(v) if v.property == property)
+    if matches!(check_all(&report, scenario.variant), Err(ref v) if v.property == property) {
+        return true;
+    }
+    matches!(check_named(&report, property), Some(Err(ref v)) if v.property == property)
 }
 
 /// Entry-wise passes are skipped on schedules longer than this (truncation

@@ -1,0 +1,17 @@
+// golden: the scenario-generator idiom — descriptor-seeded RNG streams
+// only, one per ingredient via a splitmix-style sub-seed derivation.
+// Schedule-deterministic by construction: zero diagnostics, even under
+// --deny-warnings.
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn derive_seed(seed: u64, tag: u64) -> u64 {
+    let mut z = seed.wrapping_add(tag.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 31)
+}
+
+pub fn pick_groups(descriptor_seed: u64, k: u32) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(derive_seed(descriptor_seed, 1));
+    (0..k).map(|_| rng.gen_range(0..k)).collect()
+}

@@ -1,0 +1,13 @@
+// golden: D002 fires 4x — the same generator shape seeded from the OS:
+// std::time + SystemTime (line 5), from_entropy (8), SystemTime (12).
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::SystemTime;
+
+pub fn pick_groups(k: u32) -> Vec<u32> {
+    let mut rng = StdRng::from_entropy();
+    (0..k).map(|_| rng.gen_range(0..k)).collect()
+}
+pub fn stamp() -> u64 {
+    SystemTime::now().elapsed().unwrap().as_secs()
+}

@@ -21,6 +21,7 @@
 //! | [`engine`] | one [`Executor`](engine::Executor) stepping layer over both substrates: drivers, trace bus, run digests |
 //! | [`emulation`] | Algorithms 2–5: extracting μ's constituents |
 //! | [`explore`] | schedule-space explorer, shrinking counterexamples, repros |
+//! | [`scenarios`] | seeded scenario corpus: `gam-scn v1` descriptors, families, workloads |
 //!
 //! ## Quickstart
 //!
@@ -53,6 +54,7 @@ pub use gam_explore as explore;
 pub use gam_groups as groups;
 pub use gam_kernel as kernel;
 pub use gam_objects as objects;
+pub use gam_scenarios as scenarios;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
@@ -79,4 +81,5 @@ pub mod prelude {
         Environment, FailurePattern, ProcessId, ProcessSet, Scheduler, Simulator, Time,
     };
     pub use gam_objects::{AdoptCommit, Consensus, Log, Pos};
+    pub use gam_scenarios::{fixture, ScnDescriptor};
 }

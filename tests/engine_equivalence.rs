@@ -154,3 +154,92 @@ fn recorded_schedules_replay_identically_on_each_substrate() {
     );
     assert_eq!(again.state_digest(), exec.state_digest(), "Level B replay");
 }
+
+/// The generated conformance grid: every corpus family at a fixed spread of
+/// seeds, plus order-strict extras, through both substrates. Spanning both
+/// sides of the solvability boundary, the two executors must agree on the
+/// delivery sets at every process and on the variant's spec verdict; on
+/// contention-free topologies (single-group, pairwise-disjoint) the full
+/// per-process delivery *order* must match too; and each substrate's final
+/// state digest must be reproducible run-over-run.
+#[test]
+fn generated_scenario_grid_conforms_across_substrates() {
+    use genuine_multicast::scenarios::{corpus, Family, ScnDescriptor};
+
+    // 7 corpus families x 3 seeds, plus the order-strict extras: >= 20
+    // descriptors, cyclic and acyclic.
+    let mut grid: Vec<ScnDescriptor> = corpus()
+        .iter()
+        .flat_map(|(_, t)| (0..3).map(|seed| t.with_seed(seed)))
+        .collect();
+    let order_strict = [
+        ScnDescriptor::new(Family::Single { n: 3 }),
+        ScnDescriptor::new(Family::Disjoint { k: 3, size: 2 }).with_seed(1),
+    ];
+    grid.extend(order_strict);
+    assert!(grid.len() >= 20, "the grid has {} descriptors", grid.len());
+
+    let (mut cyclic, mut acyclic) = (0, 0);
+    for descriptor in &grid {
+        let scenario = Scenario::from_descriptor(descriptor);
+        let gs = &scenario.system;
+        match descriptor.family.known_acyclic() {
+            Some(true) => acyclic += 1,
+            Some(false) => cyclic += 1,
+            None => {}
+        }
+        let ((rt_report, rt_orders), (k_report, k_orders)) = both_substrates(&scenario);
+
+        let order_free = matches!(
+            descriptor.family,
+            Family::Single { .. } | Family::Disjoint { .. }
+        );
+        for (i, p) in gs.universe().iter().enumerate() {
+            if order_free {
+                assert_eq!(rt_orders[i], k_orders[i], "{descriptor} order at {p}");
+            }
+            let sort = |v: &[MessageId]| {
+                let mut v = v.to_vec();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(
+                sort(&rt_orders[i]),
+                sort(&k_orders[i]),
+                "{descriptor} delivery set at {p}"
+            );
+        }
+        let rt_verdict = spec::check_all(&rt_report, scenario.variant);
+        let k_verdict = spec::check_all(&k_report, scenario.variant);
+        assert_eq!(
+            rt_verdict.is_ok(),
+            k_verdict.is_ok(),
+            "{descriptor}: spec verdicts diverge"
+        );
+        rt_verdict.unwrap_or_else(|v| panic!("{descriptor}: {v}"));
+
+        // Per-substrate digest determinism: the fair driver re-runs each
+        // substrate to the identical final state.
+        let rt_digest = || {
+            let mut exec = scenario.runtime_executor();
+            engine::run_fair(&mut exec, scenario.max_steps);
+            exec.state_digest()
+        };
+        let k_digest = || {
+            let mut exec = scenario.kernel_executor();
+            engine::run_fair(&mut exec, scenario.max_steps);
+            exec.state_digest()
+        };
+        assert_eq!(
+            rt_digest(),
+            rt_digest(),
+            "{descriptor}: Level A digest drifts"
+        );
+        assert_eq!(
+            k_digest(),
+            k_digest(),
+            "{descriptor}: Level B digest drifts"
+        );
+    }
+    assert!(acyclic >= 6 && cyclic >= 6, "the grid spans the boundary");
+}

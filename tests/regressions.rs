@@ -6,19 +6,26 @@
 //! Either way the replay must be deterministic: two replays of the same
 //! fixture hash identically.
 //!
+//! Each `.repro` is paired with a `.scn` descriptor (`gam-scn v1`) naming
+//! the scenario family and seed it came from — the corpus hunt
+//! (`cargo run -p gam-bench --bin scenario_hunt`) writes both halves on
+//! every violation. The pairing tests below keep the two in sync: the
+//! descriptor must regenerate the very topology the repro replays.
+//!
 //! To add a regression: paste the `to_text()` output of a shrunk
 //! [`Repro`] (the explorer prints it on every violation) into a new
-//! `.repro` file here. Clean fixtures are regenerated with
-//! `cargo run -p gam-explore --example gen_fixtures`.
+//! `.repro` file here, alongside its `.scn` line. Clean fixtures are
+//! regenerated with `cargo run -p gam-explore --example gen_fixtures`.
 
-use genuine_multicast::explore::Repro;
+use genuine_multicast::explore::{Repro, Scenario};
+use genuine_multicast::scenarios::{ScnDescriptor, TrafficPlan};
 
-fn fixtures() -> Vec<(String, String)> {
+fn fixture_texts(extension: &str) -> Vec<(String, String)> {
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
     let mut out = Vec::new();
     for entry in std::fs::read_dir(dir).expect("tests/fixtures exists") {
         let path = entry.expect("readable dir entry").path();
-        if path.extension().is_some_and(|e| e == "repro") {
+        if path.extension().is_some_and(|e| e == extension) {
             let name = path.file_stem().unwrap().to_string_lossy().into_owned();
             let text = std::fs::read_to_string(&path).expect("readable fixture");
             out.push((name, text));
@@ -26,6 +33,10 @@ fn fixtures() -> Vec<(String, String)> {
     }
     out.sort();
     out
+}
+
+fn fixtures() -> Vec<(String, String)> {
+    fixture_texts("repro")
 }
 
 #[test]
@@ -59,4 +70,76 @@ fn fixture_serialization_is_canonical() {
         );
         assert_eq!(reparsed.schedule, repro.schedule, "{name}");
     }
+}
+
+#[test]
+fn every_scn_fixture_parses_and_renders_canonically() {
+    let scns = fixture_texts("scn");
+    assert!(!scns.is_empty(), "no .scn fixtures checked in");
+    for (name, text) in &scns {
+        let descriptor = ScnDescriptor::parse(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        // the descriptor line in the file is the canonical rendering
+        let line = text
+            .lines()
+            .map(str::trim)
+            .find(|l| !l.is_empty() && !l.starts_with('#'))
+            .unwrap_or_else(|| panic!("{name}: no descriptor line"));
+        assert_eq!(
+            descriptor.render(),
+            line,
+            "{name}: pinned in canonical form"
+        );
+        // regeneration is deterministic
+        assert_eq!(descriptor.generate(), descriptor.generate(), "{name}");
+    }
+}
+
+#[test]
+fn scn_descriptors_regenerate_their_paired_repro_scenarios() {
+    // Every .repro with a sibling .scn must be reachable from it: same
+    // topology, same variant, and (for the shrinker-untouched `one`
+    // trace) a submission list the repro's is a subset of. This is what
+    // makes a checked-in pair self-describing — the descriptor alone
+    // regenerates the scenario the repro's schedule runs against.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    let mut paired = 0usize;
+    for (name, text) in &fixtures() {
+        let scn_path = format!("{dir}/{name}.scn");
+        let Ok(scn_text) = std::fs::read_to_string(&scn_path) else {
+            continue;
+        };
+        paired += 1;
+        let repro = Repro::parse(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let descriptor =
+            ScnDescriptor::parse(&scn_text).unwrap_or_else(|e| panic!("{name}.scn: {e}"));
+        let scenario = Scenario::from_descriptor(&descriptor);
+        assert_eq!(
+            scenario.system, repro.scenario.system,
+            "{name}: descriptor regenerates the repro's topology"
+        );
+        assert_eq!(
+            scenario.variant, repro.scenario.variant,
+            "{name}: descriptor and repro agree on the variant"
+        );
+        assert_eq!(
+            scenario.max_steps, repro.scenario.max_steps,
+            "{name}: descriptor and repro agree on the budget"
+        );
+        // The shrinker may drop submissions from a counterexample, so the
+        // repro's list is a (possibly strict) subset; with the unshrunk
+        // `one` trace they are identical.
+        for sub in &repro.scenario.submissions {
+            assert!(
+                scenario.submissions.contains(sub),
+                "{name}: repro submission {sub:?} comes from the descriptor workload"
+            );
+        }
+        if descriptor.traffic == TrafficPlan::One && repro.property.is_none() {
+            assert_eq!(
+                scenario.submissions, repro.scenario.submissions,
+                "{name}: clean one-per-group pair has identical workloads"
+            );
+        }
+    }
+    assert!(paired >= 3, "the three seed fixtures are paired");
 }

@@ -1,0 +1,183 @@
+//! Determinism of the scenario generator, in the three dimensions the
+//! corpus relies on:
+//!
+//! - **Threads**: the same `(family, seed)` regenerates byte-identical
+//!   topology, crash plan, workload and descriptor text on every thread.
+//! - **Engines**: exploring a generated scenario gives identical coverage
+//!   and a byte-identical shrunk `Repro` whether the explorer is the
+//!   restart-from-scratch odometer or the snapshotting DFS, at 1 or 2
+//!   workers.
+//! - **Parsing**: the descriptor parser is total — seeded random mutations
+//!   of valid descriptors never panic, they produce either a descriptor or
+//!   a typed [`ScnError`].
+
+use genuine_multicast::explore::{
+    explore_exhaustive, explore_exhaustive_dfs, explore_exhaustive_dfs_par, explore_exhaustive_par,
+    Outcome, Scenario, DEFAULT_SHRINK_BUDGET,
+};
+use genuine_multicast::prelude::*;
+use genuine_multicast::scenarios::{corpus, ScnDescriptor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn generation_is_identical_across_spawned_threads() {
+    // Every corpus template at three seeds, regenerated on four threads at
+    // once: descriptor text and the full generated scenario (topology,
+    // crashes, submissions) must be byte-identical to the main thread's.
+    let grid: Vec<ScnDescriptor> = corpus()
+        .iter()
+        .flat_map(|(_, t)| (0..3).map(|seed| t.with_seed(seed)))
+        .collect();
+    let reference: Vec<(String, String)> = grid
+        .iter()
+        .map(|d| (d.render(), format!("{:?}", d.generate())))
+        .collect();
+
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let grid = grid.clone();
+            std::thread::spawn(move || {
+                grid.iter()
+                    .map(|d| (d.render(), format!("{:?}", d.generate())))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    for (i, worker) in workers.into_iter().enumerate() {
+        let got = worker.join().expect("worker thread");
+        assert_eq!(got, reference, "thread {i} generated differently");
+    }
+}
+
+#[test]
+fn engines_and_thread_counts_agree_on_generated_scenarios() {
+    // A generated scenario starved of budget violates termination on every
+    // schedule: the counterexample the explorer reports — its `Repro` text
+    // and replay digest — must be byte-identical across the odometer and
+    // DFS engines at 1 and 2 workers. A well-budgeted sibling must give
+    // identical clean coverage everywhere.
+    let starved = ScnDescriptor::parse("gam-scn v1 family=two(3,1) seed=5 budget=12").unwrap();
+    let scenario = Scenario::from_descriptor(&starved);
+    let config = |threads| ExploreConfig {
+        threads,
+        shrink_budget: DEFAULT_SHRINK_BUDGET,
+        dedup_capacity: 0,
+    };
+
+    let reference = explore_exhaustive(&scenario, 3, 10_000, DEFAULT_SHRINK_BUDGET);
+    assert_eq!(reference.outcome, Outcome::ViolationFound);
+    let reference = &reference.violations[0];
+    assert_eq!(reference.violation.property, "termination");
+    let runs: Vec<(&str, genuine_multicast::explore::ExploreStats)> = vec![
+        (
+            "dfs-seq",
+            explore_exhaustive_dfs(&scenario, 3, 10_000, DEFAULT_SHRINK_BUDGET),
+        ),
+        (
+            "odometer-1",
+            explore_exhaustive_par(&scenario, 3, 10_000, &config(1)),
+        ),
+        (
+            "odometer-2",
+            explore_exhaustive_par(&scenario, 3, 10_000, &config(2)),
+        ),
+        (
+            "dfs-1",
+            explore_exhaustive_dfs_par(&scenario, 3, 10_000, &config(1)),
+        ),
+        (
+            "dfs-2",
+            explore_exhaustive_dfs_par(&scenario, 3, 10_000, &config(2)),
+        ),
+    ];
+    for (name, stats) in &runs {
+        assert_eq!(stats.outcome, Outcome::ViolationFound, "{name}");
+        let cx = &stats.violations[0];
+        assert_eq!(
+            cx.repro.to_text(),
+            reference.repro.to_text(),
+            "{name}: repro text diverged"
+        );
+        assert_eq!(
+            cx.repro.trace_hash(),
+            reference.repro.trace_hash(),
+            "{name}: replay digest diverged"
+        );
+    }
+
+    let clean = Scenario::from_descriptor(&starved.with_budget(50_000));
+    let reference = explore_exhaustive(&clean, 3, 10_000, DEFAULT_SHRINK_BUDGET);
+    assert!(reference.clean());
+    for (name, stats) in [
+        (
+            "dfs-seq",
+            explore_exhaustive_dfs(&clean, 3, 10_000, DEFAULT_SHRINK_BUDGET),
+        ),
+        (
+            "odometer-2",
+            explore_exhaustive_par(&clean, 3, 10_000, &config(2)),
+        ),
+        (
+            "dfs-2",
+            explore_exhaustive_dfs_par(&clean, 3, 10_000, &config(2)),
+        ),
+    ] {
+        assert!(stats.clean(), "{name}: {:?}", stats.violations);
+        assert_eq!(stats.runs, reference.runs, "{name}: coverage diverged");
+    }
+}
+
+/// Mutates `text` with `n` seeded random byte edits (replace, insert,
+/// delete) drawn from a descriptor-plausible alphabet.
+fn mutate(text: &str, rng: &mut StdRng, n: usize) -> String {
+    const ALPHABET: &[u8] = b"gam-scn v1 family=seedcrashtrafficvariantbudget()0123456789,=# \n\t~";
+    let mut bytes = text.as_bytes().to_vec();
+    for _ in 0..n {
+        let c = ALPHABET[rng.gen_range(0..ALPHABET.len())];
+        match rng.gen_range(0..3u32) {
+            0 if !bytes.is_empty() => {
+                let i = rng.gen_range(0..bytes.len());
+                bytes[i] = c;
+            }
+            1 => {
+                let i = rng.gen_range(0..bytes.len() + 1);
+                bytes.insert(i, c);
+            }
+            _ if !bytes.is_empty() => {
+                bytes.remove(rng.gen_range(0..bytes.len()));
+            }
+            _ => {}
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The parser is total under mutation: valid descriptors stay
+    /// round-trippable, and any seeded mutilation of one either parses to
+    /// a validated descriptor or returns a typed error — never panics.
+    #[test]
+    fn mutated_descriptors_never_panic_the_parser(
+        template in 0usize..7,
+        seed in any::<u64>(),
+        edits in 1usize..12,
+    ) {
+        let corpus = corpus();
+        let (_, d) = &corpus[template % corpus.len()];
+        let text = d.with_seed(seed % 1000).render();
+        prop_assert_eq!(ScnDescriptor::parse(&text).unwrap().render(), text.clone());
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mutated = mutate(&text, &mut rng, edits);
+        match ScnDescriptor::parse(&mutated) {
+            // survived the mutation: still canonicalizes
+            Ok(d) => prop_assert_eq!(ScnDescriptor::parse(&d.render()).unwrap(), d),
+            // rejected: the error is typed and prints
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+}
