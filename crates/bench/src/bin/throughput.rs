@@ -1,0 +1,275 @@
+//! The sustained-load throughput benchmark behind `BENCH_throughput.json`.
+//!
+//! Where `step_loop` measures the *stepping machinery* (driver + digest
+//! overhead on a tiny topology), this bench measures the *protocol core as
+//! a serving engine*: descriptor-addressed Zipf-skewed multi-group traffic
+//! over large `rand`/`randacyclic` instances, driven to quiescence by
+//! [`Runtime::run_sustained`] — the amortized round-robin loop the flat,
+//! index-interned state representation makes cheap. Each workload runs
+//! unbatched (`batch_max = 1`) and batched (`batch_max = 16`, many pending
+//! multicasts per consensus decision), so the record shows what interning
+//! and batching each buy.
+//!
+//! Reported per case: steps/sec (clock ticks of the run, the unit
+//! `BENCH_step_loop.json`'s 252k/s runtime baseline uses), msgs/sec
+//! (submitted multicasts retired per wall-clock second), deliveries/sec
+//! (per-process delivery events), and delivery-latency percentiles in
+//! ticks (submission → local delivery). Every run must quiesce and pass
+//! the full spec — a violation fails the bench, which is what the CI
+//! `throughput-smoke` job gates on.
+//!
+//! Run with: `cargo run --release -p gam-bench --bin throughput [-- quick]`
+//! Output:   stdout table + `BENCH_throughput.json` (repo root)
+
+use std::time::{Duration, Instant};
+
+use gam_bench::json::{write_experiment, Json};
+use gam_core::{spec, Runtime, RuntimeConfig};
+use gam_kernel::FailurePattern;
+use gam_scenarios::{fixture, ScnDescriptor};
+
+/// The runtime-substrate steps/sec of `BENCH_step_loop.json` (driver:
+/// engine) that the tentpole gates against: the flat core must clear 5×.
+const BASELINE_STEPS_PER_SEC: u64 = 252_813;
+
+struct Case {
+    workload: &'static str,
+    descriptor: String,
+    batch_max: u32,
+    runs: u64,
+    steps: u64,
+    msgs: u64,
+    deliveries: u64,
+    elapsed: Duration,
+    latency: Percentiles,
+    spec_ok: bool,
+}
+
+#[derive(Clone, Copy)]
+struct Percentiles {
+    p50: u64,
+    p95: u64,
+    p99: u64,
+    max: u64,
+}
+
+impl Case {
+    fn per_sec(&self, count: u64) -> u64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0;
+        }
+        (count as f64 / secs) as u64
+    }
+}
+
+fn percentiles(mut samples: Vec<u64>) -> Percentiles {
+    assert!(!samples.is_empty(), "a quiescent run has deliveries");
+    samples.sort_unstable();
+    let at = |q: f64| samples[((samples.len() - 1) as f64 * q) as usize];
+    Percentiles {
+        p50: at(0.50),
+        p95: at(0.95),
+        p99: at(0.99),
+        max: *samples.last().expect("non-empty"),
+    }
+}
+
+/// Builds the runtime of `d` with all submissions preloaded (the sustained
+/// backlog the batching layer drains) and the descriptor's crash plan
+/// installed.
+fn runtime_for(d: &ScnDescriptor, batch_max: u32) -> Runtime {
+    let generated = d.generate();
+    let pattern = FailurePattern::from_crashes(generated.system.universe(), generated.crashes);
+    let config = RuntimeConfig {
+        variant: d.variant,
+        batch_max,
+        ..RuntimeConfig::default()
+    };
+    let mut rt = Runtime::new(&generated.system, pattern, config);
+    for (src, g, payload) in generated.submissions {
+        rt.multicast(src, g, payload);
+    }
+    rt
+}
+
+/// Runs `d` to quiescence repeatedly until `budget` of measured time
+/// accrues; construction/report time stays off the clock.
+fn measure(workload: &'static str, d: &ScnDescriptor, batch_max: u32, budget: Duration) -> Case {
+    let mut case = Case {
+        workload,
+        descriptor: d.render(),
+        batch_max,
+        runs: 0,
+        steps: 0,
+        msgs: 0,
+        deliveries: 0,
+        elapsed: Duration::ZERO,
+        latency: Percentiles {
+            p50: 0,
+            p95: 0,
+            p99: 0,
+            max: 0,
+        },
+        spec_ok: false,
+    };
+    while case.elapsed < budget || case.runs < 2 {
+        let mut rt = runtime_for(d, batch_max);
+        let start = Instant::now();
+        let quiescent = rt.run_sustained(rt.system().universe(), d.budget);
+        let took = start.elapsed();
+        assert!(quiescent, "{workload} batch={batch_max}: must quiesce");
+        let report = rt.report(true);
+        if case.runs == 0 {
+            // The latency distribution and the spec verdict are properties
+            // of the (deterministic) run, not of the wall clock: one run's
+            // worth is the record.
+            let samples: Vec<u64> = report
+                .delivered
+                .iter()
+                .flatten()
+                .map(|dl| dl.at.0 - report.multicast_at[dl.msg.0 as usize].0)
+                .collect();
+            case.latency = percentiles(samples);
+            case.spec_ok = spec::check_all(&report, d.variant).is_ok();
+        }
+        case.runs += 1;
+        case.steps += rt.now().0;
+        case.msgs += report.messages.len() as u64;
+        case.deliveries += report.delivered.iter().map(Vec::len).sum::<usize>() as u64;
+        case.elapsed += took;
+    }
+    case
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick");
+    let budget = if quick {
+        Duration::from_millis(150)
+    } else {
+        Duration::from_millis(1_000)
+    };
+
+    // Descriptor-addressed workloads: the committed large-instance fixture
+    // (240-group random tree, 479 processes) plus a dense 64-process
+    // random topology; Zipf-skewed traffic on both.
+    let large_tree = fixture("large_tree_240");
+    let rand_dense = ScnDescriptor::parse(
+        "gam-scn v1 family=rand(64,8,450) seed=7 crash=none \
+         traffic=zipf(1200,512) variant=standard budget=2000000",
+    )
+    .expect("valid descriptor");
+
+    let mut cases = Vec::new();
+    for (workload, d) in [
+        ("large_tree_240", &large_tree),
+        ("rand_64_dense", &rand_dense),
+    ] {
+        for batch_max in [1u32, 16] {
+            cases.push(measure(workload, d, batch_max, budget));
+        }
+    }
+
+    println!(
+        "{:<16} {:>6} {:>6} {:>12} {:>10} {:>10} {:>14}",
+        "workload", "batch", "runs", "steps/sec", "msgs/sec", "deliv/sec", "lat p50/p99"
+    );
+    for c in &cases {
+        println!(
+            "{:<16} {:>6} {:>6} {:>12} {:>10} {:>10} {:>9}/{:<4}",
+            c.workload,
+            c.batch_max,
+            c.runs,
+            c.per_sec(c.steps),
+            c.per_sec(c.msgs),
+            c.per_sec(c.deliveries),
+            c.latency.p50,
+            c.latency.p99,
+        );
+    }
+
+    let best_steps = cases.iter().map(|c| c.per_sec(c.steps)).max().unwrap_or(0);
+    let required = 5 * BASELINE_STEPS_PER_SEC;
+    let gate_met = best_steps >= required;
+    println!(
+        "\ngate: best {best_steps} steps/sec vs required {required} (5x baseline) -> {}",
+        if gate_met { "met" } else { "MISSED" }
+    );
+
+    let record = Json::obj([
+        ("bench", Json::from("throughput")),
+        ("quick", Json::from(quick)),
+        ("budget_ms_per_case", Json::from(budget.as_millis() as u64)),
+        (
+            "cases",
+            cases
+                .iter()
+                .map(|c| {
+                    Json::obj([
+                        ("workload", Json::from(c.workload)),
+                        ("descriptor", Json::from(c.descriptor.clone())),
+                        ("batch_max", Json::from(u64::from(c.batch_max))),
+                        ("runs", Json::from(c.runs)),
+                        ("steps", Json::from(c.steps)),
+                        ("elapsed_ns", Json::from(c.elapsed.as_nanos() as u64)),
+                        ("steps_per_sec", Json::from(c.per_sec(c.steps))),
+                        ("msgs_per_sec", Json::from(c.per_sec(c.msgs))),
+                        ("deliveries_per_sec", Json::from(c.per_sec(c.deliveries))),
+                        (
+                            "latency_ticks",
+                            Json::obj([
+                                ("p50", Json::from(c.latency.p50)),
+                                ("p95", Json::from(c.latency.p95)),
+                                ("p99", Json::from(c.latency.p99)),
+                                ("max", Json::from(c.latency.max)),
+                            ]),
+                        ),
+                        ("spec_ok", Json::from(c.spec_ok)),
+                    ])
+                })
+                .collect::<Json>(),
+        ),
+        (
+            "gate",
+            Json::obj([
+                ("baseline_steps_per_sec", Json::from(BASELINE_STEPS_PER_SEC)),
+                ("required_steps_per_sec", Json::from(required)),
+                ("best_steps_per_sec", Json::from(best_steps)),
+                ("met", Json::from(gate_met)),
+            ]),
+        ),
+    ]);
+
+    let text = record.pretty();
+    std::fs::write("BENCH_throughput.json", &text).expect("write BENCH_throughput.json");
+    write_experiment("throughput.json", &record);
+
+    // Self-check: the persisted record parses, every case passed the spec
+    // with a sane msgs/sec floor, and (outside quick mode) the 5x gate
+    // holds. This is exactly what the CI throughput-smoke job reruns.
+    let parsed = Json::parse(&text).expect("persisted record parses");
+    let parsed_cases = parsed
+        .get("cases")
+        .and_then(Json::as_arr)
+        .expect("cases array");
+    assert_eq!(parsed_cases.len(), cases.len());
+    for c in parsed_cases {
+        assert_eq!(
+            c.get("spec_ok"),
+            Some(&Json::Bool(true)),
+            "zero spec violations"
+        );
+        assert!(
+            c.get("msgs_per_sec").and_then(Json::as_u64).unwrap_or(0) >= 100,
+            "msgs/sec above the smoke floor"
+        );
+    }
+    if !quick {
+        assert_eq!(
+            parsed.get("gate").and_then(|g| g.get("met")),
+            Some(&Json::Bool(true)),
+            "steps/sec gate: best {best_steps} < required {required}"
+        );
+    }
+    println!("wrote BENCH_throughput.json ({} cases)", cases.len());
+}

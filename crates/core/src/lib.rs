@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 pub mod baseline;
 pub mod distributed;
 mod message;
@@ -20,6 +21,7 @@ pub mod smr;
 pub mod spec;
 pub mod variants;
 
+pub use arena::MessageArena;
 pub use message::{Datum, MessageId, MessageInfo};
 pub use phase::Phase;
 pub use runtime::{ActionScheduler, Delivery, Fired, RunReport, Runtime, RuntimeConfig, Variant};

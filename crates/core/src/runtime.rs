@@ -19,16 +19,48 @@
 //!   "`(m,h) ∈ LOG_g` or `1^{g∩h}` fired", for **all** `h` intersecting `g`;
 //! - [`Variant::Pairwise`] — the pairwise-ordering weakening of §7, which
 //!   needs no `γ` (the runtime behaves as if `ℱ = ∅`).
+//!
+//! # Flat state representation
+//!
+//! The runtime stores its state in the index-interned dense tables of
+//! [`crate::arena`] rather than key-ordered maps: group pairs, adjacency
+//! positions, member ranks and consensus families are interned to small
+//! integers at construction ([`crate::arena`]'s `Tables`, shared behind an
+//! `Arc`), and all evolving protocol state lives in struct-of-arrays unit
+//! and pair tables. The "every message before `m` reached phase `X`" guards
+//! are maintained incrementally as per-pair *frontier cursors* — by Claim 8
+//! phases only rise and slots only grow, so the satisfying prefix of each
+//! pair's message order is a monotone frontier; `apply` re-advances the
+//! affected cursors eagerly and a guard is a single integer comparison.
+//!
+//! # Batching
+//!
+//! [`RuntimeConfig::batch_max`] > 1 turns on injection-level batching: an
+//! `Inject` picks up to `batch_max` consecutive not-yet-injected entries of
+//! `L_g` as one *unit* that travels through Algorithm 1 as a single message
+//! (one log entry per pair, one consensus decision), amortising one
+//! coordination decision across the whole batch; `Deliver` expands the unit
+//! into per-message deliveries in list order. The unit is identified by its
+//! first message id, so `batch_max ≤ 1` reproduces the unbatched runtime
+//! action for action. Batching preserves every per-group delivery sequence
+//! and the pairwise/global order properties over units; concurrently with a
+//! unit boundary shift, cross-group interleavings of *individual* messages
+//! may differ from an unbatched run (a unit delivers atomically), which is
+//! why the equivalence suite compares per-group projections and spec
+//! verdicts.
 
-use crate::message::{Datum, MessageId, MessageInfo};
+use crate::arena::{
+    GpEntry, MessageArena, OrderEntry, PairState, Tables, UnitArena, NO_UNIT, THRESHOLDS, T_COMMIT,
+    T_DELIVER, T_STABLE,
+};
+use crate::message::{MessageId, MessageInfo};
 use crate::phase::Phase;
-use gam_detectors::{IndicatorMode, IndicatorOracle, MuConfig, MuOracle};
-use gam_groups::{GroupId, GroupSet, GroupSystem};
+use gam_detectors::{MuConfig, MuOracle};
+use gam_groups::{GroupId, GroupSystem};
 use gam_kernel::{FailurePattern, ProcessId, ProcessSet, RunOutcome, ScheduleSource, Time};
-use gam_objects::{Consensus, Log, Pos};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Which variation of atomic multicast the runtime solves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -67,6 +99,11 @@ pub struct RuntimeConfig {
     pub scheduler: ActionScheduler,
     /// Seed for the random scheduler.
     pub seed: u64,
+    /// Maximum number of consecutive `L_g` entries one `Inject` bundles
+    /// into a single protocol unit (one consensus decision for the whole
+    /// batch). `0` and `1` both disable batching and reproduce the
+    /// per-message semantics exactly.
+    pub batch_max: u32,
 }
 
 /// An enabled action of Algorithm 1, at one process, about one message.
@@ -93,8 +130,11 @@ pub struct Fired {
     /// at the very tick of its step — the step is consumed but has no
     /// effect, exactly as in the run loops).
     pub fired: bool,
-    /// The message delivered by the action, if it was a `Deliver`.
+    /// The message delivered by the action, if it was a `Deliver` — the
+    /// unit's representative (first) message under batching.
     pub delivered: Option<MessageId>,
+    /// How many messages the action delivered (> 1 only for batched units).
+    pub delivered_count: u32,
 }
 
 /// A recorded delivery.
@@ -150,73 +190,72 @@ impl RunReport {
 /// The Algorithm 1 runtime. See the module docs.
 #[derive(Debug, Clone)]
 pub struct Runtime {
-    system: GroupSystem,
-    pattern: FailurePattern,
-    mu: MuOracle,
-    indicators: BTreeMap<(GroupId, GroupId), IndicatorOracle>,
-    variant: Variant,
+    /// Immutable interned topology/oracle tables, shared across clones —
+    /// this is what keeps engine snapshots cheap.
+    tables: Arc<Tables>,
     scheduler: ActionScheduler,
     now: Time,
-    // Shared objects.
-    logs: BTreeMap<(GroupId, GroupId), Log<Datum>>,
-    cons: BTreeMap<(MessageId, GroupSet), Consensus<u64>>,
+    // Shared objects, flat.
+    pairs: Vec<PairState>,
+    units: UnitArena,
     lists: Vec<Vec<MessageId>>,
+    /// Per message: owning unit, or [`NO_UNIT`] before injection.
+    unit_of: Vec<u32>,
+    /// Per group: first `L_g` index not yet claimed by a unit.
+    next_new: Vec<u32>,
     // Message metadata.
-    messages: Vec<MessageInfo>,
+    arena: MessageArena,
     multicast_at: Vec<Time>,
     // Per-process state.
-    phase: Vec<BTreeMap<MessageId, Phase>>,
+    /// Per `(group, member)`: first `L_g` index not locally delivered —
+    /// the inject guard's cursor.
+    inject_cursor: Vec<u32>,
+    /// Per process: units addressed to it that it has not delivered.
+    active: Vec<Vec<u32>>,
     delivered: Vec<Vec<Delivery>>,
     actions_of: Vec<u64>,
+    /// Per process: undelivered messages addressed to it (obligations).
+    owed: Vec<u64>,
     rr_cursor: usize,
     rng: StdRng,
+    /// Reusable enabled-action buffer for the allocation-free hot path.
+    scratch: Vec<Action>,
 }
 
 impl Runtime {
     /// Builds a runtime over `system` with the given failure pattern.
     pub fn new(system: &GroupSystem, pattern: FailurePattern, config: RuntimeConfig) -> Self {
-        let n = system.universe().max().map_or(0, |p| p.index() + 1);
-        let mu = MuOracle::new(system, pattern.clone(), config.mu);
-        let mut indicators = BTreeMap::new();
-        if config.variant == Variant::Strict {
-            for (g, h) in system.intersecting_pairs() {
-                indicators.insert(
-                    (g, h),
-                    IndicatorOracle::new(
-                        system.intersection(g, h),
-                        system.members(g) | system.members(h),
-                        pattern.clone(),
-                        config.indicator_delay,
-                        IndicatorMode::Truthful,
-                    ),
-                );
-            }
-        }
-        let mut logs = BTreeMap::new();
-        for (g, _) in system.iter() {
-            logs.insert((g, g), Log::new());
-        }
-        for (g, h) in system.intersecting_pairs() {
-            logs.insert((g, h), Log::new());
-        }
+        let tables = Arc::new(Tables::new(system, pattern, &config));
+        let n = tables.n;
+        let pairs = tables
+            .pair_procs
+            .iter()
+            .map(|procs| PairState {
+                max_slot: 0,
+                order: Vec::new(),
+                cursors: vec![0; procs.len() * 3],
+            })
+            .collect();
+        let total_gm = *tables.member_base.last().expect("base table non-empty") as usize;
         Runtime {
-            system: system.clone(),
-            pattern,
-            mu,
-            indicators,
-            variant: config.variant,
             scheduler: config.scheduler,
             now: Time::ZERO,
-            logs,
-            cons: BTreeMap::new(),
-            lists: vec![Vec::new(); system.len()],
-            messages: Vec::new(),
+            pairs,
+            units: UnitArena::default(),
+            lists: vec![Vec::new(); tables.n_groups],
+            unit_of: Vec::new(),
+            next_new: vec![0; tables.n_groups],
+            arena: MessageArena::default(),
             multicast_at: Vec::new(),
-            phase: vec![BTreeMap::new(); n],
+            inject_cursor: vec![0; total_gm],
+            active: vec![Vec::new(); n],
             delivered: vec![Vec::new(); n],
             actions_of: vec![0; n],
+            owed: vec![0; n],
             rr_cursor: 0,
             rng: StdRng::seed_from_u64(config.seed),
+            scratch: Vec::new(),
+            tables,
         }
     }
 
@@ -227,42 +266,21 @@ impl Runtime {
 
     /// The group system of the runtime.
     pub fn system(&self) -> &GroupSystem {
-        &self.system
+        &self.tables.system
     }
 
     /// The failure pattern driving the run.
     pub fn pattern(&self) -> &FailurePattern {
-        &self.pattern
+        &self.tables.pattern
     }
 
-    fn log_key(&self, g: GroupId, h: GroupId) -> (GroupId, GroupId) {
-        if g <= h {
-            (g, h)
-        } else {
-            (h, g)
-        }
-    }
-
-    fn log(&self, g: GroupId, h: GroupId) -> &Log<Datum> {
-        &self.logs[&self.log_key(g, h)]
-    }
-
-    fn log_mut(&mut self, g: GroupId, h: GroupId) -> &mut Log<Datum> {
-        let key = self.log_key(g, h);
-        self.logs
-            .get_mut(&key)
-            .expect("LOG_{g∩h} is created for every intersecting pair at init")
-    }
-
-    fn phase_of(&self, p: ProcessId, m: MessageId) -> Phase {
-        self.phase[p.index()]
-            .get(&m)
-            .copied()
-            .unwrap_or(Phase::Start)
+    /// The `μ` oracle whose component detectors guard the run's actions.
+    pub fn mu(&self) -> &MuOracle {
+        &self.tables.mu
     }
 
     fn alive(&self, p: ProcessId) -> bool {
-        !self.pattern.is_crashed(p, self.now)
+        self.tables.alive(p, self.now.0)
     }
 
     /// Submits a user-level `multicast(m)` from `src` to `group` (the
@@ -273,150 +291,147 @@ impl Runtime {
     /// Panics if `src` is not a member of `group` (closed dissemination
     /// model) or has already crashed.
     pub fn multicast(&mut self, src: ProcessId, group: GroupId, payload: u64) -> MessageId {
+        let t = Arc::clone(&self.tables);
         assert!(
-            self.system.members(group).contains(src),
+            t.system.members(group).contains(src),
             "{src} ∉ {group}: closed model requires src(m) ∈ dst(m)"
         );
         self.now = self.now.next();
         assert!(self.alive(src), "{src} has crashed; it cannot multicast");
-        let id = MessageId(self.messages.len() as u64);
-        self.messages.push(MessageInfo {
+        let id = self.arena.push(MessageInfo {
             src,
             group,
             payload,
         });
         self.multicast_at.push(self.now);
+        self.unit_of.push(NO_UNIT);
         self.lists[group.index()].push(id);
+        for &q in &t.member_list[group.index()] {
+            self.owed[q.index()] += 1;
+        }
         id
     }
 
-    /// The groups of `p` (`𝒢(p)`).
-    fn groups_of(&self, p: ProcessId) -> GroupSet {
-        self.system.groups_of(p)
+    /// The phase of unit `u` at member `p` of its group.
+    #[inline]
+    fn unit_phase(&self, t: &Tables, u: u32, p: ProcessId) -> Phase {
+        let g = self.units.group[u as usize];
+        self.units.phase[self.units.mem(u, t.rank(g, p))]
     }
 
-    /// Enumerates the actions currently enabled at `p`.
-    fn enabled_actions(&self, p: ProcessId) -> Vec<Action> {
-        let mut out = Vec::new();
-        let my_groups = self.groups_of(p);
-        // Inject: the first locally-undelivered message of L_g, unless it is
-        // already in LOG_g.
-        for g in my_groups {
-            if let Some(m) = self.lists[g.index()]
-                .iter()
-                .find(|m| self.phase_of(p, **m) != Phase::Deliver)
-            {
-                if !self.log(g, g).contains(&Datum::Msg(*m)) {
-                    out.push(Action::Inject(g, *m));
+    /// Calls `f` for every action currently enabled at `p`. The traversal
+    /// order is arbitrary (per-unit); callers needing the deterministic
+    /// `Action` order sort afterwards.
+    fn enabled_each(&self, p: ProcessId, f: &mut impl FnMut(Action)) {
+        let t = &*self.tables;
+        let pi = p.index();
+        // Inject: the first locally-undelivered message of L_g, unless it
+        // is already claimed by a unit (i.e. in LOG_g). Deliveries happen
+        // in list order per (p, g), so "first undelivered" is a cursor.
+        for g in t.groups_of[pi] {
+            let gm = t.gm(g, p);
+            let cur = self.inject_cursor[gm] as usize;
+            let list = &self.lists[g.index()];
+            if cur < list.len() {
+                let m = list[cur];
+                if self.unit_of[m.0 as usize] == NO_UNIT {
+                    f(Action::Inject(g, m));
                 }
             }
         }
-        // Per-message actions, for messages addressed to p.
-        for (i, info) in self.messages.iter().enumerate() {
-            let m = MessageId(i as u64);
-            let g = info.group;
-            if !my_groups.contains(g) {
-                continue;
-            }
-            match self.phase_of(p, m) {
+        // Per-unit actions, for live units addressed to p.
+        for &u in &self.active[pi] {
+            let g = self.units.group[u as usize];
+            let rep = self.units.rep[u as usize];
+            match self.unit_phase(t, u, p) {
                 Phase::Start => {
-                    if self.pending_enabled(p, m, g) {
-                        out.push(Action::Pending(m));
+                    if self.pending_enabled(t, p, u, g) {
+                        f(Action::Pending(rep));
                     }
                 }
                 Phase::Pending => {
-                    if self.commit_enabled(p, m, g) {
-                        out.push(Action::Commit(m));
+                    if self.commit_enabled(t, p, u, g) {
+                        f(Action::Commit(rep));
                     }
                 }
                 Phase::Commit => {
-                    for h in my_groups {
-                        if self.stabilize_enabled(p, m, g, h) {
-                            out.push(Action::Stabilize(m, h));
+                    let gm = t.gm(g, p);
+                    for e in &t.per_gp[gm] {
+                        if self.stabilize_enabled(u, e) {
+                            f(Action::Stabilize(rep, e.h));
                         }
                     }
-                    if self.stable_enabled(p, m, g) {
-                        out.push(Action::Stable(m));
+                    if self.stable_enabled(t, p, u, g, gm) {
+                        f(Action::Stable(rep));
                     }
                 }
                 Phase::Stable => {
-                    if self.deliver_enabled(p, m, g) {
-                        out.push(Action::Deliver(m));
+                    if self.deliver_enabled(t, p, u, g) {
+                        f(Action::Deliver(rep));
                     }
                 }
                 Phase::Deliver => {}
             }
         }
+    }
+
+    /// The enabled actions of `p`, sorted in the deterministic `Action`
+    /// order (the replay-stable sub-choice indexing).
+    fn enabled_sorted(&self, p: ProcessId) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.enabled_each(p, &mut |a| out.push(a));
+        out.sort_unstable();
         out
     }
 
-    /// Lines 9–11.
-    fn pending_enabled(&self, p: ProcessId, m: MessageId, g: GroupId) -> bool {
-        let log = self.log(g, g);
-        if !log.contains(&Datum::Msg(m)) {
-            return false;
-        }
-        // ∀ m' <_{LOG_g} m (message entries): PHASE[m'] ≥ commit
-        self.msgs_before(g, g, m)
-            .into_iter()
-            .all(|m2| self.phase_of(p, m2) >= Phase::Commit)
+    fn enabled_count(&self, p: ProcessId) -> usize {
+        let mut n = 0usize;
+        self.enabled_each(p, &mut |_| n += 1);
+        n
     }
 
-    /// Message entries of `LOG_{g∩h}` strictly before `m` in log order.
-    fn msgs_before(&self, g: GroupId, h: GroupId, m: MessageId) -> Vec<MessageId> {
-        let log = self.log(g, h);
-        let me = Datum::Msg(m);
-        log.iter_in_order()
-            .filter(|d| log.before(d, &me))
-            .filter_map(|d| d.as_msg())
-            .collect()
+    /// Lines 9–11: `m ∈ LOG_g` and every message before it committed. The
+    /// membership is an invariant (units are appended to `LOG_g` at
+    /// inject); the prefix condition is the pair's commit frontier.
+    fn pending_enabled(&self, t: &Tables, p: ProcessId, u: u32, g: GroupId) -> bool {
+        let e = t.self_gp[t.gm(g, p)];
+        let ai = self.units.adj(u, e.adj_idx as usize);
+        debug_assert!(self.units.slot[ai] > 0, "unit appended to LOG_g at inject");
+        self.pairs[e.pair as usize].cursors[e.prank as usize * 3 + T_COMMIT]
+            >= self.units.order_idx[ai]
     }
 
-    /// `γ(g)` as seen by `p` now — for the pairwise variant, always empty.
-    fn gamma_groups(&self, p: ProcessId, g: GroupId) -> GroupSet {
-        match self.variant {
-            Variant::Pairwise => GroupSet::EMPTY,
-            _ => self.mu.gamma_groups(p, g, self.now),
-        }
-    }
-
-    /// Lines 17–18.
-    fn commit_enabled(&self, p: ProcessId, m: MessageId, g: GroupId) -> bool {
-        let log = self.log(g, g);
-        self.gamma_groups(p, g).iter().all(|h| {
-            log.iter_in_order()
-                .any(|d| matches!(d, Datum::PosAnn(m2, h2, _) if *m2 == m && *h2 == h))
-        })
+    /// Lines 17–18: a position announcement from every `h ∈ γ(g)`.
+    fn commit_enabled(&self, t: &Tables, p: ProcessId, u: u32, g: GroupId) -> bool {
+        let gam = t.gamma_at(t.gm(g, p), self.now.0);
+        gam.iter()
+            .all(|h| self.units.ann_max[self.units.adj(u, t.adj_of(g, h))] > 0)
     }
 
     /// Lines 26–28 (plus a progress guard: the announcement is not yet in
     /// `LOG_g` — appending is idempotent, so this only prunes no-op actions).
-    fn stabilize_enabled(&self, p: ProcessId, m: MessageId, g: GroupId, h: GroupId) -> bool {
-        if self.log(g, g).contains(&Datum::StabAnn(m, h)) {
-            return false;
-        }
-        if !self.log(g, h).contains(&Datum::Msg(m)) {
-            return false;
-        }
-        self.msgs_before(g, h, m)
-            .into_iter()
-            .all(|m2| self.phase_of(p, m2) >= Phase::Stable)
+    fn stabilize_enabled(&self, u: u32, e: &GpEntry) -> bool {
+        let ai = self.units.adj(u, e.adj_idx as usize);
+        !self.units.stab[ai]
+            && self.units.slot[ai] > 0
+            && self.pairs[e.pair as usize].cursors[e.prank as usize * 3 + T_STABLE]
+                >= self.units.order_idx[ai]
     }
 
     /// Lines 31–32, with the §6.1 modification under [`Variant::Strict`].
-    fn stable_enabled(&self, p: ProcessId, m: MessageId, g: GroupId) -> bool {
-        let log = self.log(g, g);
-        match self.variant {
+    fn stable_enabled(&self, t: &Tables, p: ProcessId, u: u32, g: GroupId, gm: usize) -> bool {
+        match t.variant {
             Variant::Standard | Variant::Pairwise => self
-                .gamma_groups(p, g)
+                .tables
+                .gamma_at(gm, self.now.0)
                 .iter()
-                .all(|h| log.contains(&Datum::StabAnn(m, h))),
-            Variant::Strict => self.system.iter().all(|(h, _)| {
-                if h == g || !self.system.intersecting(g, h) {
-                    return true;
-                }
-                log.contains(&Datum::StabAnn(m, h))
-                    || self.indicators[&self.log_key(g, h)]
+                .all(|h| self.units.stab[self.units.adj(u, t.adj_of(g, h))]),
+            Variant::Strict => t.adj[g.index()].iter().enumerate().all(|(a, &h)| {
+                h == g
+                    || self.units.stab[self.units.adj(u, a)]
+                    || t.indicators[t.adj_pair[g.index()][a] as usize]
+                        .as_ref()
+                        .expect("strict cross pairs carry indicators")
                         .indicates(p, self.now)
                         .unwrap_or(false)
             }),
@@ -424,85 +439,265 @@ impl Runtime {
     }
 
     /// Lines 35–36: every message before `m` in any log at `p` that contains
-    /// `m` is locally delivered.
-    fn deliver_enabled(&self, p: ProcessId, m: MessageId, g: GroupId) -> bool {
-        for h in self.groups_of(p) {
+    /// `m` is locally delivered — the pair's deliver frontier.
+    fn deliver_enabled(&self, t: &Tables, p: ProcessId, u: u32, g: GroupId) -> bool {
+        let gm = t.gm(g, p);
+        for e in &t.per_gp[gm] {
             // Deliberate mutation for explorer smoke-testing: ignore the
             // ordering constraints of the cross-group logs `LOG_{g∩h}`, so
             // overlap replicas may deliver concurrent messages of different
             // groups in different orders. Never enabled in normal builds.
             #[cfg(feature = "mutation")]
-            if h != g {
+            if e.h != g {
                 continue;
             }
-            if !self.log(g, h).contains(&Datum::Msg(m)) {
+            let ai = self.units.adj(u, e.adj_idx as usize);
+            if self.units.slot[ai] == 0 {
                 continue;
             }
-            let ok = self
-                .msgs_before(g, h, m)
-                .into_iter()
-                .all(|m2| self.phase_of(p, m2) == Phase::Deliver);
-            if !ok {
+            if self.pairs[e.pair as usize].cursors[e.prank as usize * 3 + T_DELIVER]
+                < self.units.order_idx[ai]
+            {
                 return false;
             }
         }
         true
     }
 
+    /// Appends unit `u`'s `Msg` entry to the pair at adjacency `sa` of its
+    /// group: fresh slot past the high-water mark, tail of the order. The
+    /// new entry cannot extend any frontier (at first-append time every
+    /// process relevant to the pair is at most `pending` on `u` — a later
+    /// phase would imply it appended the entry itself earlier), so no
+    /// cursor re-advance is needed.
+    fn append_unit(&mut self, pair: u32, u: u32, sa: usize) {
+        let rep = self.units.rep[u as usize];
+        let ps = &mut self.pairs[pair as usize];
+        let slot = ps.max_slot + 1;
+        ps.max_slot = slot;
+        let ai = self.units.adj(u, sa);
+        self.units.slot[ai] = slot;
+        self.units.order_idx[ai] = ps.order.len() as u32;
+        ps.order.push(OrderEntry { slot, rep, unit: u });
+    }
+
+    /// Adjacency cell of `entry_unit`'s row in `pair` (for order-index
+    /// fix-ups when a bump reorders a pair).
+    fn entry_adj(&self, t: &Tables, pair: usize, unit: u32) -> usize {
+        let (a, b) = t.pairs[pair];
+        let g2 = self.units.group[unit as usize];
+        let other = if g2 == a { b } else { a };
+        self.units.adj(unit, t.adj_of(g2, other))
+    }
+
+    /// Advances one frontier cursor to maximality.
+    fn advance_from(&self, t: &Tables, pair: usize, q: ProcessId, k: usize, mut f: u32) -> u32 {
+        let order = &self.pairs[pair].order;
+        while let Some(entry) = order.get(f as usize) {
+            if self.unit_phase(t, entry.unit, q) >= THRESHOLDS[k] {
+                f += 1;
+            } else {
+                break;
+            }
+        }
+        f
+    }
+
+    /// Re-advances every cursor of `pair` (after a bump reorder).
+    fn advance_pair_cursors(&mut self, t: &Tables, pair: u32) {
+        let pid = pair as usize;
+        for (pr, &q) in t.pair_procs[pid].iter().enumerate() {
+            for k in 0..3 {
+                let f = self.advance_from(t, pid, q, k, self.pairs[pid].cursors[pr * 3 + k]);
+                self.pairs[pid].cursors[pr * 3 + k] = f;
+            }
+        }
+    }
+
+    /// Raises `u`'s phase at `p` and re-advances the cursors the rise can
+    /// extend (only `p`'s rows, only thresholds the new phase satisfies).
+    fn set_phase_and_advance(&mut self, t: &Tables, p: ProcessId, g: GroupId, u: u32, ph: Phase) {
+        let cell = self.units.mem(u, t.rank(g, p));
+        self.units.phase[cell] = ph;
+        let gm = t.gm(g, p);
+        for e in &t.per_gp[gm] {
+            for (k, &threshold) in THRESHOLDS.iter().enumerate() {
+                if threshold > ph {
+                    break;
+                }
+                let pid = e.pair as usize;
+                let idx = e.prank as usize * 3 + k;
+                let f = self.advance_from(t, pid, p, k, self.pairs[pid].cursors[idx]);
+                self.pairs[pid].cursors[idx] = f;
+            }
+        }
+    }
+
+    /// Line 22–23: locks `u`'s entry in one pair at `max(slot, k)`. If the
+    /// slot rises the entry migrates right in the pair order (keys only
+    /// grow, so the new index is ≥ the old one); order indices and frontier
+    /// cursors are fixed up and re-advanced to stay maximal.
+    fn bump_and_lock(&mut self, t: &Tables, u: u32, e: &GpEntry, k: u64) {
+        let ai = self.units.adj(u, e.adj_idx as usize);
+        if self.units.locked[ai] {
+            return;
+        }
+        self.units.locked[ai] = true;
+        let old = self.units.slot[ai];
+        debug_assert!(old > 0, "bump_and_lock on an appended entry");
+        if k <= old {
+            return;
+        }
+        self.units.slot[ai] = k;
+        let pid = e.pair as usize;
+        if k > self.pairs[pid].max_slot {
+            self.pairs[pid].max_slot = k;
+        }
+        let i = self.units.order_idx[ai] as usize;
+        let moved = OrderEntry {
+            slot: k,
+            rep: self.pairs[pid].order[i].rep,
+            unit: u,
+        };
+        let mut j = i;
+        while let Some(&next) = self.pairs[pid].order.get(j + 1) {
+            if next.key() >= moved.key() {
+                break;
+            }
+            self.pairs[pid].order[j] = next;
+            let nai = self.entry_adj(t, pid, next.unit);
+            self.units.order_idx[nai] = j as u32;
+            j += 1;
+        }
+        self.pairs[pid].order[j] = moved;
+        self.units.order_idx[ai] = j as u32;
+        if j > i {
+            // The entry left positions (i, j]: any frontier spanning them
+            // shrinks by the one removed entry, then re-advances (entries
+            // that shifted into the prefix may satisfy the threshold).
+            let (lo, hi) = (i as u32, j as u32);
+            for c in self.pairs[pid].cursors.iter_mut() {
+                if *c > lo && *c <= hi {
+                    *c -= 1;
+                }
+            }
+            self.advance_pair_cursors(t, e.pair);
+        }
+    }
+
     /// Applies `action` at `p` (the `eff:` blocks).
     fn apply(&mut self, p: ProcessId, action: Action) {
+        let t = Arc::clone(&self.tables);
         self.actions_of[p.index()] += 1;
         match action {
             Action::Inject(g, m) => {
-                self.log_mut(g, g).append(Datum::Msg(m));
+                let gi = g.index();
+                let start = self.next_new[gi];
+                debug_assert_eq!(self.lists[gi][start as usize], m, "inject targets next-new");
+                let avail = self.lists[gi].len() as u32 - start;
+                let len = avail.min(t.batch_max);
+                let deg = t.adj[gi].len();
+                let members = t.member_list[gi].len();
+                let fams = t.fams[gi].len();
+                let u = self.units.push(g, start, len, m, deg, members, fams);
+                for off in 0..len {
+                    let claimed = self.lists[gi][(start + off) as usize];
+                    self.unit_of[claimed.0 as usize] = u;
+                }
+                self.next_new[gi] = start + len;
+                for &q in &t.member_list[gi] {
+                    self.active[q.index()].push(u);
+                }
+                let sa = t.adj_of(g, g);
+                self.append_unit(t.self_pair[gi], u, sa);
             }
             Action::Pending(m) => {
-                let g = self.messages[m.0 as usize].group;
-                for h in self.groups_of(p) {
-                    let i = self.log_mut(g, h).append(Datum::Msg(m)).0;
-                    self.log_mut(g, g).append(Datum::PosAnn(m, h, i));
+                let u = self.unit_of[m.0 as usize];
+                let g = self.units.group[u as usize];
+                let gm = t.gm(g, p);
+                let self_pair = t.self_pair[g.index()] as usize;
+                for e in &t.per_gp[gm] {
+                    let ai = self.units.adj(u, e.adj_idx as usize);
+                    if self.units.slot[ai] == 0 {
+                        self.append_unit(e.pair, u, e.adj_idx as usize);
+                    }
+                    // (m, h, i) into LOG_g; a fresh announcement consumes a
+                    // slot of the self pair. Positions are non-decreasing
+                    // per (unit, h), so equality with the recorded maximum
+                    // is exactly the append-idempotence check.
+                    let i = self.units.slot[ai];
+                    if self.units.ann_max[ai] != i {
+                        self.units.ann_max[ai] = i;
+                        self.pairs[self_pair].max_slot += 1;
+                    }
                 }
-                self.phase[p.index()].insert(m, Phase::Pending);
+                self.set_phase_and_advance(&t, p, g, u, Phase::Pending);
             }
             Action::Commit(m) => {
-                let g = self.messages[m.0 as usize].group;
+                let u = self.unit_of[m.0 as usize];
+                let ui = u as usize;
+                let g = self.units.group[ui];
+                let gm = t.gm(g, p);
                 // line 19: k = max{i : ∃(m,-,i) ∈ LOG_g}
-                let k = self
-                    .log(g, g)
-                    .iter_in_order()
-                    .filter_map(|d| match d {
-                        Datum::PosAnn(m2, _, i) if *m2 == m => Some(*i),
-                        _ => None,
-                    })
+                let deg = self.units.deg(u);
+                let base = self.units.adj(u, 0);
+                let k = self.units.ann_max[base..base + deg]
+                    .iter()
+                    .copied()
                     .max()
-                    .expect("own position announcement present");
-                // line 20: 𝔣 = H(p, g) — under the pairwise weakening the
-                // runtime behaves as if ℱ = ∅, so 𝔣 = ∅ as well.
-                let f = match self.variant {
-                    Variant::Pairwise => GroupSet::EMPTY,
-                    _ => self.system.h_set(p, g),
+                    .unwrap_or(0);
+                debug_assert!(k > 0, "own position announcement present");
+                // line 20–21: 𝔣 = H(p, g); k ← CONS_{m,𝔣}.propose(k).
+                // First proposal wins; 0 encodes "undecided" (slots are ≥ 1).
+                let ci = self.units.fam(u, t.fam_rank[gm]);
+                let k = if self.units.cons[ci] != 0 {
+                    self.units.cons[ci]
+                } else {
+                    self.units.cons[ci] = k;
+                    k
                 };
-                // line 21: k ← CONS_{m,𝔣}.propose(k)
-                let k = self.cons.entry((m, f)).or_default().propose(k);
                 // lines 22–23
-                for h in self.groups_of(p) {
-                    self.log_mut(g, h).bump_and_lock(&Datum::Msg(m), Pos(k));
+                for e in &t.per_gp[gm] {
+                    self.bump_and_lock(&t, u, e, k);
                 }
-                self.phase[p.index()].insert(m, Phase::Commit);
+                self.set_phase_and_advance(&t, p, g, u, Phase::Commit);
             }
             Action::Stabilize(m, h) => {
-                let g = self.messages[m.0 as usize].group;
-                self.log_mut(g, g).append(Datum::StabAnn(m, h));
+                let u = self.unit_of[m.0 as usize];
+                let g = self.units.group[u as usize];
+                let ai = self.units.adj(u, t.adj_of(g, h));
+                debug_assert!(
+                    !self.units.stab[ai],
+                    "stabilize pruned to fresh announcements"
+                );
+                self.units.stab[ai] = true;
+                // (m, h) appended to LOG_g consumes a slot of the self pair.
+                self.pairs[t.self_pair[g.index()] as usize].max_slot += 1;
             }
             Action::Stable(m) => {
-                self.phase[p.index()].insert(m, Phase::Stable);
+                let u = self.unit_of[m.0 as usize];
+                let g = self.units.group[u as usize];
+                self.set_phase_and_advance(&t, p, g, u, Phase::Stable);
             }
             Action::Deliver(m) => {
-                self.phase[p.index()].insert(m, Phase::Deliver);
-                self.delivered[p.index()].push(Delivery {
-                    msg: m,
-                    at: self.now,
-                });
+                let u = self.unit_of[m.0 as usize];
+                let ui = u as usize;
+                let g = self.units.group[ui];
+                self.set_phase_and_advance(&t, p, g, u, Phase::Deliver);
+                let start = self.units.start[ui] as usize;
+                let len = self.units.len[ui] as usize;
+                for off in 0..len {
+                    let msg = self.lists[g.index()][start + off];
+                    self.delivered[p.index()].push(Delivery { msg, at: self.now });
+                }
+                self.owed[p.index()] -= len as u64;
+                let row = &mut self.active[p.index()];
+                let pos = row
+                    .iter()
+                    .position(|&x| x == u)
+                    .expect("delivered unit was active");
+                row.swap_remove(pos);
+                self.inject_cursor[t.gm(g, p)] = (start + len) as u32;
             }
         }
     }
@@ -510,7 +705,7 @@ impl Runtime {
     /// Runs until quiescence or `max_actions`, scheduling every process.
     /// Returns `true` on quiescence.
     pub fn run(&mut self, max_actions: u64) -> bool {
-        self.run_only(self.system.universe(), max_actions)
+        self.run_only(self.tables.system.universe(), max_actions)
     }
 
     /// Returns `true` if some live process of `set` still owes a delivery:
@@ -519,12 +714,8 @@ impl Runtime {
     /// waiting on *time* alone (a γ exclusion, an indicator firing), so the
     /// run loop idles the clock forward instead of stopping.
     pub fn has_obligations(&self, set: ProcessSet) -> bool {
-        self.messages.iter().enumerate().any(|(i, info)| {
-            let m = MessageId(i as u64);
-            (self.system.members(info.group) & set)
-                .iter()
-                .any(|p| self.alive(p) && self.phase_of(p, m) != Phase::Deliver)
-        })
+        set.iter()
+            .any(|p| self.alive(p) && self.owed[p.index()] > 0)
     }
 
     /// Runs scheduling only the processes of `set` — the adversarial
@@ -534,7 +725,7 @@ impl Runtime {
     /// resolve (a liveness failure, e.g. an ablated detector) exhausts its
     /// budget and returns `false`.
     pub fn run_only(&mut self, set: ProcessSet, max_actions: u64) -> bool {
-        let n = self.phase.len();
+        let n = self.tables.n;
         let mut taken = 0u64;
         loop {
             if taken >= max_actions {
@@ -544,7 +735,7 @@ impl Runtime {
             let candidates: Vec<(ProcessId, Vec<Action>)> = set
                 .iter()
                 .filter(|p| self.alive(*p))
-                .map(|p| (p, self.enabled_actions(p)))
+                .map(|p| (p, self.enabled_sorted(p)))
                 .filter(|(_, a)| !a.is_empty())
                 .collect();
             if candidates.is_empty() {
@@ -564,11 +755,7 @@ impl Runtime {
                         let idx = (self.rr_cursor + off) % n;
                         if let Some((p, acts)) = candidates.iter().find(|(p, _)| p.index() == idx) {
                             self.rr_cursor = (idx + 1) % n;
-                            let least = *acts
-                                .iter()
-                                .min()
-                                .expect("candidate lists only hold processes with enabled actions");
-                            chosen = Some((*p, least));
+                            chosen = Some((*p, acts[0]));
                             break;
                         }
                     }
@@ -583,6 +770,55 @@ impl Runtime {
             if self.alive(p) {
                 self.apply(p, action);
             }
+            taken += 1;
+        }
+    }
+
+    /// The sustained-load driver: fires the exact action sequence of
+    /// [`Runtime::run_only`] under the round-robin scheduler, but amortizes
+    /// candidate discovery. `run_only` materialises every process's
+    /// enabled-action list on every step — O(processes × actions) of
+    /// redundant guard evaluation per action fired — which is what the
+    /// explorer's adversarial schedules need, not what a serving loop
+    /// needs. Here the round-robin scan resumes at the stored cursor and
+    /// fires the first enabled action it meets, so under load each step
+    /// costs one process's guard evaluation. Returns `true` on quiescence
+    /// of `set`, `false` on budget exhaustion.
+    pub fn run_sustained(&mut self, set: ProcessSet, max_actions: u64) -> bool {
+        let n = self.tables.n;
+        let mut taken = 0u64;
+        'steps: loop {
+            if taken >= max_actions {
+                return false;
+            }
+            for off in 0..n {
+                let idx = (self.rr_cursor + off) % n;
+                let p = ProcessId(idx as u32);
+                if !set.contains(p) || !self.alive(p) {
+                    continue;
+                }
+                // The minimum enabled action is the `acts[0]` the
+                // round-robin arm of `run_only` fires.
+                let mut first: Option<Action> = None;
+                self.enabled_each(p, &mut |a| {
+                    if first.is_none_or(|b| a < b) {
+                        first = Some(a);
+                    }
+                });
+                let Some(action) = first else { continue };
+                self.rr_cursor = (idx + 1) % n;
+                self.now = self.now.next();
+                if self.alive(p) {
+                    self.apply(p, action);
+                }
+                taken += 1;
+                continue 'steps;
+            }
+            if !self.has_obligations(set) {
+                return true;
+            }
+            // Idle tick, as in `run_only`: a guard may wait on time alone.
+            self.now = self.now.next();
             taken += 1;
         }
     }
@@ -637,7 +873,7 @@ impl Runtime {
         out.clear();
         for p in set {
             if self.alive(p) {
-                let n = self.enabled_actions(p).len();
+                let n = self.enabled_count(p);
                 if n > 0 {
                     out.push((p, n));
                 }
@@ -651,20 +887,29 @@ impl Runtime {
     /// crashes exactly at the new time consumes the step without effect —
     /// the same semantics as the built-in run loops.
     pub fn fire_enabled(&mut self, p: ProcessId, choice: usize) -> Fired {
-        let mut acts = self.enabled_actions(p);
+        let mut acts = std::mem::take(&mut self.scratch);
+        acts.clear();
+        self.enabled_each(p, &mut |a| acts.push(a));
         acts.sort_unstable();
         self.now = self.now.next();
         if acts.is_empty() || !self.alive(p) {
+            self.scratch = acts;
             return Fired::default();
         }
         let action = acts[choice.min(acts.len() - 1)];
+        self.scratch = acts;
+        let (delivered, delivered_count) = match action {
+            Action::Deliver(m) => {
+                let u = self.unit_of[m.0 as usize];
+                (Some(m), self.units.len[u as usize])
+            }
+            _ => (None, 0),
+        };
         self.apply(p, action);
         Fired {
             fired: true,
-            delivered: match action {
-                Action::Deliver(m) => Some(m),
-                _ => None,
-            },
+            delivered,
+            delivered_count,
         }
     }
 
@@ -681,16 +926,16 @@ impl Runtime {
     /// [`Runtime::has_obligations`]).
     pub fn is_quiescent_in(&self, set: ProcessSet) -> bool {
         set.iter()
-            .all(|p| !self.alive(p) || self.enabled_actions(p).is_empty())
+            .all(|p| !self.alive(p) || self.enabled_count(p) == 0)
             && !self.has_obligations(set)
     }
 
     /// Produces the report for property checking.
     pub fn report(&self, quiescent: bool) -> RunReport {
         RunReport {
-            system: self.system.clone(),
-            pattern: self.pattern.clone(),
-            messages: self.messages.clone(),
+            system: self.tables.system.clone(),
+            pattern: self.tables.pattern.clone(),
+            messages: self.arena.to_vec(),
             multicast_at: self.multicast_at.clone(),
             delivered: self.delivered.clone(),
             actions_of: self.actions_of.clone(),
@@ -699,58 +944,64 @@ impl Runtime {
     }
 
     /// Walks every piece of evolving runtime state as a deterministic `u64`
-    /// word stream: the clock, every shared object (logs, consensus,
-    /// lists), every per-process table (phases, deliveries, action counts).
-    /// Two runtimes over the same scenario emitting the same stream behave
-    /// identically under any deterministic continuation — the detector
-    /// oracles are pure functions of the (fixed) pattern and the clock, so
-    /// nothing behavioral lives outside this walk. Map entries are visited
-    /// in key order (every table here is a `BTreeMap` — gam-lint D001
-    /// enforces that), making the stream independent of insertion history;
-    /// each variable-length section is length-prefixed so the stream is
+    /// word stream: the clock, every shared object (pair orders and slot
+    /// high-water marks, per-unit announcements/stabilisations/consensus
+    /// cells, lists), every per-process table (phases, deliveries, action
+    /// counts). Two runtimes over the same scenario emitting the same
+    /// stream behave identically under any deterministic continuation —
+    /// the detector oracles are pure functions of the (fixed) pattern and
+    /// the clock, and the remaining fields (frontier cursors, inject
+    /// cursors, owed counts, active lists) are derived caches of the walked
+    /// state, so nothing behavioral lives outside this walk. Pairs are
+    /// visited in interned id order, which is their lexicographic key order
+    /// — the same canonical order the seed's `BTreeMap` walk used; each
+    /// variable-length section is length-prefixed so the stream is
     /// prefix-free.
     ///
     /// The engine folds this stream into the executor's state fingerprint,
     /// which the explorer's visited-set dedup prunes on.
     pub fn fold_state(&self, push: &mut impl FnMut(u64)) {
+        let t = &*self.tables;
         push(self.now.0);
-        // Shared logs, in (g, h) key order (BTreeMap iteration).
-        push(self.logs.len() as u64);
-        for (key, log) in &self.logs {
-            let (g, h) = *key;
-            push(u64::from(g.0));
-            push(u64::from(h.0));
-            push(log.len() as u64);
-            for (d, pos, locked) in log.entries() {
-                match d {
-                    Datum::Msg(m) => {
-                        push(0);
-                        push(m.0);
-                    }
-                    Datum::PosAnn(m, h, i) => {
-                        push(1);
-                        push(m.0);
-                        push(u64::from(h.0));
-                        push(*i);
-                    }
-                    Datum::StabAnn(m, h) => {
-                        push(2);
-                        push(m.0);
-                        push(u64::from(h.0));
-                    }
-                }
-                push(pos.0);
-                push(u64::from(locked));
+        // Shared pair orders, in interned (lexicographic key) order.
+        push(self.pairs.len() as u64);
+        for (pid, ps) in self.pairs.iter().enumerate() {
+            let (a, b) = t.pairs[pid];
+            push(u64::from(a.0));
+            push(u64::from(b.0));
+            push(ps.max_slot);
+            push(ps.order.len() as u64);
+            for entry in &ps.order {
+                push(entry.slot);
+                push(entry.rep.0);
+                push(u64::from(
+                    self.units.locked[self.entry_adj(t, pid, entry.unit)],
+                ));
             }
         }
-        // Consensus objects, in (m, 𝔣) key order. The decision is the
-        // behavioral state; the proposal counter is bookkeeping.
-        push(self.cons.len() as u64);
-        for (key, cons) in &self.cons {
-            let (m, fam) = *key;
-            push(m.0);
-            push(fam.0);
-            push(cons.decision().map_or(0, |v| v + 1));
+        // Units: identity, announcements, stabilisations, consensus cells
+        // and per-member phases, in unit id (creation) order — creation
+        // order is itself a function of the walked state, so the stream
+        // stays canonical.
+        push(self.units.count() as u64);
+        for u in 0..self.units.count() as u32 {
+            let ui = u as usize;
+            push(u64::from(self.units.group[ui].0));
+            push(u64::from(self.units.start[ui]));
+            push(u64::from(self.units.len[ui]));
+            let deg = self.units.deg(u);
+            for a in 0..deg {
+                let ai = self.units.adj(u, a);
+                push(self.units.ann_max[ai]);
+                push(u64::from(self.units.stab[ai]));
+            }
+            let g = self.units.group[ui];
+            for r in 0..t.member_list[g.index()].len() {
+                push(self.units.phase[self.units.mem(u, r as u16)] as u64);
+            }
+            for fr in 0..t.fams[g.index()].len() as u16 {
+                push(self.units.cons[self.units.fam(u, fr)]);
+            }
         }
         // Group submission lists (append-only; constant within a run but
         // part of the machine nonetheless).
@@ -762,14 +1013,6 @@ impl Runtime {
             }
         }
         // Per-process protocol state.
-        push(self.phase.len() as u64);
-        for table in &self.phase {
-            push(table.len() as u64);
-            for (m, phase) in table {
-                push(m.0);
-                push(*phase as u64);
-            }
-        }
         for seq in &self.delivered {
             push(seq.len() as u64);
             for d in seq {
@@ -803,6 +1046,35 @@ mod tests {
 
     fn runtime(system: &GroupSystem, pattern: FailurePattern) -> Runtime {
         Runtime::new(system, pattern, RuntimeConfig::default())
+    }
+
+    #[test]
+    fn run_sustained_matches_run_only_round_robin() {
+        // The sustained driver is the same scheduler with candidate
+        // discovery amortized: on a clone of the same runtime it must fire
+        // the identical action sequence, hence reach the identical state.
+        for gs in [
+            topology::fig1(),
+            topology::ring(3, 2),
+            topology::two_overlapping(3, 1),
+        ] {
+            let mut a = runtime(&gs, FailurePattern::all_correct(gs.universe()));
+            for (g, members) in gs.iter() {
+                a.multicast(members.min().unwrap(), g, u64::from(g.0));
+            }
+            let mut b = a.clone();
+            assert!(a.run_only(gs.universe(), 500_000), "run_only quiesces");
+            assert!(
+                b.run_sustained(gs.universe(), 500_000),
+                "sustained quiesces"
+            );
+            let fold = |rt: &Runtime| {
+                let mut v = Vec::new();
+                rt.fold_state(&mut |w| v.push(w));
+                v
+            };
+            assert_eq!(fold(&a), fold(&b), "state diverged on {gs:?}");
+        }
     }
 
     #[test]
@@ -945,5 +1217,112 @@ mod tests {
         assert!(report.has_delivered(ProcessId(1), m));
         assert!(report.quiescent);
         assert!(report.actions_of.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn batching_preserves_per_group_delivery_sequences() {
+        // The same burst under batch sizes 0..4 delivers exactly the same
+        // per-group sequences; only the unit granularity differs.
+        let gs = topology::fig1();
+        let submit = |rt: &mut Runtime| {
+            let mut ms = Vec::new();
+            for i in 0..6u64 {
+                ms.push(rt.multicast(ProcessId(0), GroupId(0), i));
+            }
+            for i in 0..3u64 {
+                ms.push(rt.multicast(ProcessId(2), GroupId(2), 100 + i));
+            }
+            ms
+        };
+        let mut reference: Option<Vec<Vec<Vec<MessageId>>>> = None;
+        for batch in [0u32, 1, 2, 4] {
+            let mut rt = Runtime::new(
+                &gs,
+                FailurePattern::all_correct(gs.universe()),
+                RuntimeConfig {
+                    batch_max: batch,
+                    ..Default::default()
+                },
+            );
+            submit(&mut rt);
+            let report = rt.run_to_quiescence(1_000_000);
+            // Units deliver atomically, so the cross-group interleave at an
+            // overlap process may legally shift with the batch size; the
+            // guarantee is per-group: project each local sequence onto each
+            // destination group.
+            let seqs: Vec<Vec<Vec<MessageId>>> = gs
+                .universe()
+                .iter()
+                .map(|p| {
+                    (0..gs.len())
+                        .map(|g| {
+                            report
+                                .delivered_by(p)
+                                .into_iter()
+                                .filter(|m| {
+                                    report.messages[m.0 as usize].group == GroupId(g as u32)
+                                })
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect();
+            match &reference {
+                None => reference = Some(seqs),
+                Some(r) => assert_eq!(r, &seqs, "batch_max = {batch}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batched_fire_reports_unit_width() {
+        let gs = topology::single_group(2);
+        let mut rt = Runtime::new(
+            &gs,
+            FailurePattern::all_correct(gs.universe()),
+            RuntimeConfig {
+                batch_max: 3,
+                ..Default::default()
+            },
+        );
+        for i in 0..3u64 {
+            rt.multicast(ProcessId(0), GroupId(0), i);
+        }
+        let q = rt.run(1_000_000);
+        assert!(q);
+        let report = rt.report(true);
+        // All three messages travel as one unit: each member delivers all
+        // of them at a single instant.
+        for p in gs.universe() {
+            let at: Vec<Time> = report.delivered[p.index()].iter().map(|d| d.at).collect();
+            assert_eq!(at.len(), 3);
+            assert!(at.windows(2).all(|w| w[0] == w[1]), "atomic unit delivery");
+        }
+    }
+
+    #[test]
+    fn unbatched_and_batch_one_fold_identically() {
+        // batch_max 0 and 1 are the same machine; their digest streams
+        // must agree step for step.
+        let gs = topology::ring(3, 2);
+        let mk = |batch: u32| {
+            let mut rt = Runtime::new(
+                &gs,
+                FailurePattern::all_correct(gs.universe()),
+                RuntimeConfig {
+                    batch_max: batch,
+                    ..Default::default()
+                },
+            );
+            for g in 0..3u32 {
+                let src = gs.members(GroupId(g)).min().unwrap();
+                rt.multicast(src, GroupId(g), u64::from(g));
+            }
+            rt.run(100_000);
+            let mut words = Vec::new();
+            rt.fold_state(&mut |w| words.push(w));
+            words
+        };
+        assert_eq!(mk(0), mk(1));
     }
 }

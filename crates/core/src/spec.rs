@@ -31,6 +31,28 @@ fn dst(report: &RunReport, m: MessageId) -> ProcessSet {
     report.system.members(report.messages[m.0 as usize].group)
 }
 
+/// Per-process delivery positions, indexed `[p][m] → rank of m at p`: the
+/// O(1) form of `delivered_by(p).iter().position(|x| x == m)` the pairwise
+/// checkers would otherwise re-scan per message pair. First occurrence wins,
+/// matching `position` on (invalid) double-delivery reports.
+fn position_tables(report: &RunReport) -> Vec<Vec<Option<u32>>> {
+    report
+        .delivered
+        .iter()
+        .map(|ds| {
+            let mut pos = vec![None; report.messages.len()];
+            for (r, d) in ds.iter().enumerate() {
+                // `get_mut`: unknown message ids (caught by integrity, but
+                // each checker must stand alone) simply stay unranked.
+                if let Some(slot @ None) = pos.get_mut(d.msg.0 as usize) {
+                    *slot = Some(r as u32);
+                }
+            }
+            pos
+        })
+        .collect()
+}
+
 /// *(Integrity)* Every process delivers a message at most once, and only if
 /// it belongs to `dst(m)` and `m` was previously multicast.
 ///
@@ -75,18 +97,26 @@ pub fn check_integrity(report: &RunReport) -> Result<(), SpecViolation> {
 /// time `p` delivers `m`, it has not (yet) delivered `m'`.
 fn local_edges(report: &RunReport, p: ProcessId) -> Vec<(MessageId, MessageId)> {
     let seq = report.delivered_by(p);
+    let mut delivered = vec![false; report.messages.len()];
+    for m in &seq {
+        if let Some(slot) = delivered.get_mut(m.0 as usize) {
+            *slot = true;
+        }
+    }
+    // m' addressed to p but never delivered by p: the same tail for every
+    // delivered m, so compute it once instead of rescanning ℳ per message.
+    let undelivered: Vec<MessageId> = (0..report.messages.len())
+        .map(|j| MessageId(j as u64))
+        .filter(|m2| !delivered[m2.0 as usize] && dst(report, *m2).contains(p))
+        .collect();
     let mut edges = Vec::new();
-    // Delivered pairs, in local order.
     for (i, m) in seq.iter().enumerate() {
+        // Delivered pairs, in local order.
         for m2 in &seq[i + 1..] {
             edges.push((*m, *m2));
         }
-        // m delivered, m' addressed to p but never delivered by p.
-        for j in 0..report.messages.len() {
-            let m2 = MessageId(j as u64);
-            if m2 != *m && dst(report, m2).contains(p) && !seq.contains(&m2) {
-                edges.push((*m, m2));
-            }
+        for m2 in &undelivered {
+            edges.push((*m, *m2));
         }
     }
     edges
@@ -94,10 +124,23 @@ fn local_edges(report: &RunReport, p: ProcessId) -> Vec<(MessageId, MessageId)> 
 
 /// The delivery relation `↦ = ∪_p ↦_p` of the run.
 pub fn delivery_relation(report: &RunReport) -> Vec<(MessageId, MessageId)> {
+    let m_count = report.messages.len();
+    // Dedup through a dense m×m bitmap: a linear `contains` scan over the
+    // accumulated edge list is quadratic in |↦| and dominates spec checking
+    // on dense multi-group runs.
+    let mut seen = vec![false; m_count * m_count];
     let mut edges = Vec::new();
     for i in 0..report.delivered.len() {
         for e in local_edges(report, ProcessId(i as u32)) {
-            if !edges.contains(&e) {
+            let (a, b) = (e.0 .0 as usize, e.1 .0 as usize);
+            if a < m_count && b < m_count {
+                if !seen[a * m_count + b] {
+                    seen[a * m_count + b] = true;
+                    edges.push(e);
+                }
+            } else if !edges.contains(&e) {
+                // unknown ids (malformed reports): the slow path keeps the
+                // relation total, as integrity will flag them anyway
                 edges.push(e);
             }
         }
@@ -225,15 +268,21 @@ pub fn check_minimality(report: &RunReport) -> Result<(), SpecViolation> {
 ///
 /// Returns the first [`SpecViolation`] found.
 pub fn check_strict_ordering(report: &RunReport) -> Result<(), SpecViolation> {
+    let m_count = report.messages.len();
     let mut edges = delivery_relation(report);
-    for i in 0..report.messages.len() {
+    let mut seen = vec![false; m_count * m_count];
+    for (a, b) in &edges {
+        seen[a.0 as usize * m_count + b.0 as usize] = true;
+    }
+    for i in 0..m_count {
         let m = MessageId(i as u64);
         let Some(t) = report.first_delivery(m) else {
             continue;
         };
-        for j in 0..report.messages.len() {
+        for j in 0..m_count {
             let m2 = MessageId(j as u64);
-            if m != m2 && t < report.multicast_at[j] && !edges.contains(&(m, m2)) {
+            if m != m2 && t < report.multicast_at[j] && !seen[i * m_count + j] {
+                seen[i * m_count + j] = true;
                 edges.push((m, m2));
             }
         }
@@ -252,20 +301,20 @@ pub fn check_strict_ordering(report: &RunReport) -> Result<(), SpecViolation> {
 /// Returns the first [`SpecViolation`] found.
 pub fn check_pairwise_ordering(report: &RunReport) -> Result<(), SpecViolation> {
     let n = report.delivered.len();
+    let pos = position_tables(report);
     for i in 0..n {
         let p = ProcessId(i as u32);
         let seq = report.delivered_by(p);
         for (a, m) in seq.iter().enumerate() {
             for m2 in &seq[a + 1..] {
                 // p delivers m then m'. Check every q delivering m'.
-                for j in 0..n {
+                for (j, qpos) in pos.iter().enumerate() {
                     let q = ProcessId(j as u32);
                     if !dst(report, *m).contains(q) {
                         continue;
                     }
-                    let qseq = report.delivered_by(q);
-                    if let Some(pos2) = qseq.iter().position(|x| x == m2) {
-                        match qseq.iter().position(|x| x == m) {
+                    if let Some(pos2) = qpos[m2.0 as usize] {
+                        match qpos[m.0 as usize] {
                             Some(pos1) if pos1 < pos2 => {}
                             _ => {
                                 return Err(SpecViolation {
@@ -297,18 +346,15 @@ pub fn check_pairwise_ordering(report: &RunReport) -> Result<(), SpecViolation> 
 /// Returns the first [`SpecViolation`] found.
 pub fn check_pairwise_agreement(report: &RunReport) -> Result<(), SpecViolation> {
     let n = report.delivered.len();
+    let pos = position_tables(report);
     for i in 0..n {
         let p = ProcessId(i as u32);
         let dp = report.delivered_by(p);
-        for j in 0..n {
+        for (j, qpos) in pos.iter().enumerate().take(n) {
             let q = ProcessId(j as u32);
-            let dq = report.delivered_by(q);
             for (a, m1) in dp.iter().enumerate() {
                 for m2 in &dp[a + 1..] {
-                    if let (Some(b1), Some(b2)) = (
-                        dq.iter().position(|x| x == m1),
-                        dq.iter().position(|x| x == m2),
-                    ) {
+                    if let (Some(b1), Some(b2)) = (qpos[m1.0 as usize], qpos[m2.0 as usize]) {
                         if b1 >= b2 {
                             return Err(SpecViolation {
                                 property: "pairwise-agreement",

@@ -51,11 +51,21 @@ impl GammaOracle {
     /// Creates the oracle; `delay` is the detection latency in ticks.
     pub fn new(system: &GroupSystem, pattern: FailurePattern, delay: u64) -> Self {
         let n = system.universe().max().map_or(0, |p| p.index() + 1);
+        // Enumerate ℱ once: `families_of_process` re-runs the 2-core prune
+        // per call, which is quadratic in the group count — at hundreds of
+        // groups the n repeated calls dominate construction.
+        let cyclic = system.cyclic_families();
         let families_of = (0..n)
-            .map(|i| system.families_of_process(ProcessId(i as u32)))
+            .map(|i| {
+                let p = ProcessId(i as u32);
+                cyclic
+                    .iter()
+                    .copied()
+                    .filter(|f| system.in_some_intersection(*f, p))
+                    .collect()
+            })
             .collect();
-        let faulty_from = system
-            .cyclic_families()
+        let faulty_from = cyclic
             .into_iter()
             .map(|f| (f, family_faulty_from(system, &pattern, f)))
             .collect();
@@ -90,6 +100,25 @@ impl GammaOracle {
             .find(|(g, _)| *g == f)
             .and_then(|(_, from)| *from)
             .is_some_and(|from| Time(from.0.saturating_add(self.delay)) <= t)
+    }
+
+    /// The times at which the oracle's output can change anywhere: for
+    /// every family of `ℱ` that ever becomes faulty, the instant
+    /// `faulty_from + delay` at which the oracle excludes it. Sorted
+    /// ascending, deduplicated. Between consecutive breakpoints — and after
+    /// the last — the output at every process is constant (family
+    /// faultiness is monotone), which lets callers precompute `γ(g)`
+    /// timelines once instead of re-filtering families per query.
+    pub fn exclusion_breakpoints(&self) -> Vec<Time> {
+        let mut out: Vec<Time> = self
+            .faulty_from
+            .iter()
+            .filter_map(|(_, from)| *from)
+            .map(|t| Time(t.0.saturating_add(self.delay)))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 
     /// `γ(g)` at `(p, t)`: the groups `h` with `g ∩ h ≠ ∅` such that `g` and

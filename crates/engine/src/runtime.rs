@@ -123,6 +123,13 @@ impl Executor for RuntimeExecutor {
         self.digest.push(u64::from(action.pid.0));
         self.digest
             .push(fired.delivered.map_or(u64::from(fired.fired), |m| m.0 + 2));
+        // Batched units fold their width as an extra word; unbatched runs
+        // (count ≤ 1) keep the historical three-word stream byte-identical,
+        // so existing `.repro` fixtures and cross-substrate digests replay
+        // unchanged when batching is off.
+        if fired.delivered_count > 1 {
+            self.digest.push(u64::from(fired.delivered_count));
+        }
         if self.observers.is_empty() {
             return;
         }

@@ -75,6 +75,9 @@ pub struct Scenario {
     pub variant: Variant,
     /// Step budget of a single run (schedule prefix + fair tail).
     pub max_steps: u64,
+    /// Consensus batching width of the Level-A runtime (`1` = unbatched;
+    /// the Level-B kernel substrate always runs unbatched).
+    pub batch_max: u32,
 }
 
 impl Scenario {
@@ -91,7 +94,16 @@ impl Scenario {
             submissions,
             variant: Variant::Standard,
             max_steps,
+            batch_max: 1,
         }
+    }
+
+    /// The same scenario with the Level-A consensus batching width set to
+    /// `batch_max` (clamped to at least 1 by the runtime).
+    #[must_use]
+    pub fn with_batch_max(mut self, batch_max: u32) -> Self {
+        self.batch_max = batch_max;
+        self
     }
 
     /// The scenario addressed by a `gam-scn v1` descriptor: generated
@@ -106,6 +118,7 @@ impl Scenario {
             submissions: generated.submissions,
             variant: descriptor.variant,
             max_steps: descriptor.budget,
+            batch_max: 1,
         }
     }
 
@@ -123,6 +136,7 @@ impl Scenario {
             self.pattern(),
             RuntimeConfig {
                 variant: self.variant,
+                batch_max: self.batch_max,
                 ..Default::default()
             },
         );

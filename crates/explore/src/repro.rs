@@ -22,7 +22,9 @@
 //!
 //! `property` names the spec axiom the schedule violates (`-` for a clean
 //! run); `schedule` lines (there may be several) hold `pid:choice` pairs
-//! and concatenate in order.
+//! and concatenate in order. An optional `batch <width>` line (after
+//! `budget`) records a Level-A consensus batching width greater than 1;
+//! unbatched repros omit it, so pre-batching fixtures render unchanged.
 
 use crate::trace_hash;
 use crate::{PrefixTail, Scenario};
@@ -109,6 +111,11 @@ impl Repro {
         }
         let _ = writeln!(out, "seed {}", self.seed);
         let _ = writeln!(out, "budget {}", self.scenario.max_steps);
+        // Written only when batching is on: pre-batching fixtures keep
+        // rendering (and replaying) byte-identically.
+        if self.scenario.batch_max > 1 {
+            let _ = writeln!(out, "batch {}", self.scenario.batch_max);
+        }
         let _ = writeln!(out, "property {}", self.property.as_deref().unwrap_or("-"));
         // Schedules can be long: chunk them into readable lines.
         for chunk in self.schedule.chunks(16) {
@@ -142,6 +149,7 @@ impl Repro {
         let mut submissions = Vec::new();
         let mut seed = 0u64;
         let mut budget = 100_000u64;
+        let mut batch_max = 1u32;
         let mut property = None;
         let mut schedule = Vec::new();
         for line in lines {
@@ -173,6 +181,7 @@ impl Repro {
                 }
                 "seed" => seed = parse_num(rest)?,
                 "budget" => budget = parse_num(rest)?,
+                "batch" => batch_max = parse_num(rest)? as u32,
                 "property" => property = (rest != "-").then(|| rest.to_string()),
                 "schedule" => {
                     for tok in rest.split_whitespace() {
@@ -200,6 +209,7 @@ impl Repro {
                 submissions,
                 variant,
                 max_steps: budget,
+                batch_max,
             },
             schedule,
             seed,
@@ -237,6 +247,7 @@ mod tests {
             submissions: vec![(ProcessId(0), GroupId(0), 7), (ProcessId(4), GroupId(1), 8)],
             variant: Variant::Standard,
             max_steps: 50_000,
+            batch_max: 1,
         };
         let mut source = RecordingSource::new(RandomSource::new(17));
         let _ = scenario.run(&mut source);

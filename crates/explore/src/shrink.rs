@@ -154,6 +154,7 @@ mod tests {
             submissions: vec![(ProcessId(0), GroupId(0), 1), (ProcessId(1), GroupId(0), 2)],
             variant: Variant::Standard,
             max_steps: 3, // far too small: every run fails termination
+            batch_max: 1,
         };
         let schedule = vec![
             ChoiceStep {

@@ -33,97 +33,133 @@ impl From<usize> for GroupId {
     }
 }
 
-/// A set of groups, as a 64-bit bitset over group indices.
+/// A set of groups, as a 256-bit bitset over group indices.
 ///
 /// Families of destination groups (§3) are [`GroupSet`]s; so are the edges of
-/// closed paths once projected to their endpoints.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct GroupSet(pub u64);
+/// closed paths once projected to their endpoints. The total order compares
+/// sets as the numbers their bit patterns encode (word 0 holds the lowest
+/// group indices), so ordered collections keyed by families iterate
+/// deterministically regardless of the backing width.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct GroupSet([u64; GROUP_WORDS]);
+
+/// Number of 64-bit words backing a [`GroupSet`].
+const GROUP_WORDS: usize = 4;
+
+/// Maximum number of destination groups supported by [`GroupSet`].
+pub const MAX_GROUPS: usize = GROUP_WORDS * 64;
 
 impl GroupSet {
     /// The empty set of groups.
-    pub const EMPTY: GroupSet = GroupSet(0);
+    pub const EMPTY: GroupSet = GroupSet([0; GROUP_WORDS]);
 
     /// Creates an empty set.
     pub fn new() -> Self {
-        GroupSet(0)
+        GroupSet::EMPTY
     }
 
     /// The set of the first `n` groups.
     ///
     /// # Panics
     ///
-    /// Panics if `n > 64`.
+    /// Panics if `n > 256`.
     pub fn first_n(n: usize) -> Self {
-        assert!(n <= 64);
-        if n == 64 {
-            GroupSet(u64::MAX)
-        } else {
-            GroupSet((1u64 << n) - 1)
+        assert!(n <= MAX_GROUPS, "at most {MAX_GROUPS} groups");
+        let mut words = [0u64; GROUP_WORDS];
+        let (full, rest) = (n / 64, n % 64);
+        words[..full].fill(u64::MAX);
+        if rest > 0 {
+            words[full] = (1u64 << rest) - 1;
         }
+        GroupSet(words)
     }
 
     /// A singleton set.
     pub fn singleton(g: GroupId) -> Self {
-        GroupSet(1u64 << g.index())
+        let mut s = GroupSet::EMPTY;
+        s.insert(g);
+        s
     }
 
     /// Membership test.
     #[inline]
     pub fn contains(self, g: GroupId) -> bool {
-        self.0 & (1u64 << g.index()) != 0
+        self.0[g.index() / 64] & (1u64 << (g.index() % 64)) != 0
     }
 
     /// Inserts `g`, returning whether it was absent.
     pub fn insert(&mut self, g: GroupId) -> bool {
         let had = self.contains(g);
-        self.0 |= 1u64 << g.index();
+        self.0[g.index() / 64] |= 1u64 << (g.index() % 64);
         !had
     }
 
     /// Removes `g`, returning whether it was present.
     pub fn remove(&mut self, g: GroupId) -> bool {
         let had = self.contains(g);
-        self.0 &= !(1u64 << g.index());
+        self.0[g.index() / 64] &= !(1u64 << (g.index() % 64));
         had
     }
 
     /// Number of groups in the set.
     #[inline]
     pub fn len(self) -> usize {
-        self.0.count_ones() as usize
+        self.0.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Emptiness test.
     #[inline]
     pub fn is_empty(self) -> bool {
-        self.0 == 0
+        self.0 == [0; GROUP_WORDS]
     }
 
     /// Subset test (`self ⊆ other`).
     #[inline]
     pub fn is_subset(self, other: GroupSet) -> bool {
-        self.0 & !other.0 == 0
+        (0..GROUP_WORDS).all(|i| self.0[i] & !other.0[i] == 0)
     }
 
     /// Intersection test.
     #[inline]
     pub fn intersects(self, other: GroupSet) -> bool {
-        self.0 & other.0 != 0
+        (0..GROUP_WORDS).any(|i| self.0[i] & other.0[i] != 0)
     }
 
     /// The minimum group of the set, if any.
     pub fn min(self) -> Option<GroupId> {
-        if self.is_empty() {
-            None
-        } else {
-            Some(GroupId(self.0.trailing_zeros()))
-        }
+        self.0
+            .iter()
+            .enumerate()
+            .find(|(_, w)| **w != 0)
+            .map(|(i, w)| GroupId((i * 64) as u32 + w.trailing_zeros()))
+    }
+
+    /// The backing words, low group indices first — the canonical encoding
+    /// digest and fingerprint code folds.
+    #[inline]
+    pub fn words(self) -> [u64; GROUP_WORDS] {
+        self.0
     }
 
     /// Iterates over the groups in ascending order.
     pub fn iter(self) -> GroupSetIter {
-        GroupSetIter(self.0)
+        GroupSetIter {
+            words: self.0,
+            word: 0,
+        }
+    }
+}
+
+impl PartialOrd for GroupSet {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for GroupSet {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Numeric order of the encoded bit pattern: high words first.
+        self.0.iter().rev().cmp(other.0.iter().rev())
     }
 }
 
@@ -148,23 +184,33 @@ impl fmt::Display for GroupSet {
 
 /// Iterator over a [`GroupSet`] in ascending index order.
 #[derive(Debug, Clone)]
-pub struct GroupSetIter(u64);
+pub struct GroupSetIter {
+    words: [u64; GROUP_WORDS],
+    word: usize,
+}
 
 impl Iterator for GroupSetIter {
     type Item = GroupId;
 
     fn next(&mut self) -> Option<GroupId> {
-        if self.0 == 0 {
-            None
-        } else {
-            let idx = self.0.trailing_zeros();
-            self.0 &= self.0 - 1;
-            Some(GroupId(idx))
+        while self.word < GROUP_WORDS {
+            let w = self.words[self.word];
+            if w == 0 {
+                self.word += 1;
+                continue;
+            }
+            let idx = w.trailing_zeros();
+            self.words[self.word] = w & (w - 1);
+            return Some(GroupId((self.word * 64) as u32 + idx));
         }
+        None
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.0.count_ones() as usize;
+        let n: usize = self.words[self.word.min(GROUP_WORDS)..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
         (n, Some(n))
     }
 }
@@ -191,28 +237,37 @@ impl FromIterator<GroupId> for GroupSet {
 
 impl std::ops::BitOr for GroupSet {
     type Output = GroupSet;
-    fn bitor(self, rhs: GroupSet) -> GroupSet {
-        GroupSet(self.0 | rhs.0)
+    fn bitor(mut self, rhs: GroupSet) -> GroupSet {
+        for i in 0..GROUP_WORDS {
+            self.0[i] |= rhs.0[i];
+        }
+        self
     }
 }
 
 impl std::ops::BitOrAssign for GroupSet {
     fn bitor_assign(&mut self, rhs: GroupSet) {
-        self.0 |= rhs.0;
+        *self = *self | rhs;
     }
 }
 
 impl std::ops::BitAnd for GroupSet {
     type Output = GroupSet;
-    fn bitand(self, rhs: GroupSet) -> GroupSet {
-        GroupSet(self.0 & rhs.0)
+    fn bitand(mut self, rhs: GroupSet) -> GroupSet {
+        for i in 0..GROUP_WORDS {
+            self.0[i] &= rhs.0[i];
+        }
+        self
     }
 }
 
 impl std::ops::Sub for GroupSet {
     type Output = GroupSet;
-    fn sub(self, rhs: GroupSet) -> GroupSet {
-        GroupSet(self.0 & !rhs.0)
+    fn sub(mut self, rhs: GroupSet) -> GroupSet {
+        for i in 0..GROUP_WORDS {
+            self.0[i] &= !rhs.0[i];
+        }
+        self
     }
 }
 
@@ -252,7 +307,10 @@ impl GroupSystem {
     /// Panics if any group is empty, not a subset of the universe, or listed
     /// twice, or if there are more than 64 groups.
     pub fn new(universe: ProcessSet, groups: Vec<ProcessSet>) -> Self {
-        assert!(groups.len() <= 64, "at most 64 destination groups");
+        assert!(
+            groups.len() <= MAX_GROUPS,
+            "at most {MAX_GROUPS} destination groups"
+        );
         for (i, g) in groups.iter().enumerate() {
             assert!(!g.is_empty(), "group g{} is empty", i + 1);
             assert!(

@@ -2,14 +2,17 @@
 //!
 //! The paper assumes a finite set of processes `P = {p_1, ..., p_n}`. We
 //! represent a process by a small integer index ([`ProcessId`]) and a set of
-//! processes by a 128-bit bitset ([`ProcessSet`]), which makes the
+//! processes by a fixed-width bitset ([`ProcessSet`]), which makes the
 //! intersection-heavy group machinery (`g ∩ h`, quorum checks, family
-//! faultiness) O(1).
+//! faultiness) a handful of word operations.
 
 use std::fmt;
 
+/// Number of 64-bit words backing a [`ProcessSet`].
+const WORDS: usize = 8;
+
 /// Maximum number of processes supported by [`ProcessSet`].
-pub const MAX_PROCESSES: usize = 128;
+pub const MAX_PROCESSES: usize = WORDS * 64;
 
 /// The identity of a process, an index in `0..MAX_PROCESSES`.
 ///
@@ -51,11 +54,14 @@ impl From<usize> for ProcessId {
     }
 }
 
-/// A set of processes, represented as a 128-bit bitset.
+/// A set of processes, represented as a 512-bit bitset.
 ///
 /// Implements the set algebra used throughout the paper: union (`|`),
 /// intersection (`&`), difference (`-`), symmetric difference (`^`) and the
-/// subset/superset predicates.
+/// subset/superset predicates. The total order compares sets as the numbers
+/// their bit patterns encode (word 0 holds the lowest process indices), so
+/// ordered collections keyed by sets iterate deterministically regardless of
+/// the backing width.
 ///
 /// # Examples
 ///
@@ -67,16 +73,16 @@ impl From<usize> for ProcessId {
 /// assert!(g.contains(ProcessId(1)));
 /// assert_eq!((g | h).len(), 4);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct ProcessSet(pub u128);
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ProcessSet([u64; WORDS]);
 
 impl ProcessSet {
     /// The empty set.
-    pub const EMPTY: ProcessSet = ProcessSet(0);
+    pub const EMPTY: ProcessSet = ProcessSet([0; WORDS]);
 
     /// Creates an empty set.
     pub fn new() -> Self {
-        ProcessSet(0)
+        ProcessSet::EMPTY
     }
 
     /// Creates the set `{p_0, ..., p_{n-1}}` of the first `n` processes.
@@ -86,54 +92,58 @@ impl ProcessSet {
     /// Panics if `n > MAX_PROCESSES`.
     pub fn first_n(n: usize) -> Self {
         assert!(n <= MAX_PROCESSES, "at most {MAX_PROCESSES} processes");
-        if n == MAX_PROCESSES {
-            ProcessSet(u128::MAX)
-        } else {
-            ProcessSet((1u128 << n) - 1)
+        let mut words = [0u64; WORDS];
+        let (full, rest) = (n / 64, n % 64);
+        words[..full].fill(u64::MAX);
+        if rest > 0 {
+            words[full] = (1u64 << rest) - 1;
         }
+        ProcessSet(words)
     }
 
     /// Creates a singleton set.
     pub fn singleton(p: ProcessId) -> Self {
-        ProcessSet(1u128 << p.index())
+        let mut s = ProcessSet::EMPTY;
+        s.insert(p);
+        s
     }
 
     /// Returns `true` if the set contains `p`.
     #[inline]
     pub fn contains(self, p: ProcessId) -> bool {
-        self.0 & (1u128 << p.index()) != 0
+        self.0[p.index() / 64] & (1u64 << (p.index() % 64)) != 0
     }
 
     /// Inserts `p`, returning `true` if it was not already present.
     pub fn insert(&mut self, p: ProcessId) -> bool {
         let had = self.contains(p);
-        self.0 |= 1u128 << p.index();
+        self.0[p.index() / 64] |= 1u64 << (p.index() % 64);
         !had
     }
 
     /// Removes `p`, returning `true` if it was present.
     pub fn remove(&mut self, p: ProcessId) -> bool {
         let had = self.contains(p);
-        self.0 &= !(1u128 << p.index());
+        self.0[p.index() / 64] &= !(1u64 << (p.index() % 64));
         had
     }
 
     /// Number of processes in the set.
     #[inline]
     pub fn len(self) -> usize {
-        self.0.count_ones() as usize
+        self.0.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Returns `true` if the set is empty.
     #[inline]
     pub fn is_empty(self) -> bool {
-        self.0 == 0
+        self.0 == [0; WORDS]
     }
 
     /// Returns `true` if `self ⊆ other`.
     #[inline]
     pub fn is_subset(self, other: ProcessSet) -> bool {
-        self.0 & !other.0 == 0
+        (0..WORDS).all(|i| self.0[i] & !other.0[i] == 0)
     }
 
     /// Returns `true` if `self ⊇ other`.
@@ -145,30 +155,47 @@ impl ProcessSet {
     /// Returns `true` if the two sets intersect (`self ∩ other ≠ ∅`).
     #[inline]
     pub fn intersects(self, other: ProcessSet) -> bool {
-        self.0 & other.0 != 0
+        (0..WORDS).any(|i| self.0[i] & other.0[i] != 0)
     }
 
     /// The minimum process in the set, if any.
     pub fn min(self) -> Option<ProcessId> {
-        if self.is_empty() {
-            None
-        } else {
-            Some(ProcessId(self.0.trailing_zeros()))
-        }
+        self.0
+            .iter()
+            .enumerate()
+            .find(|(_, w)| **w != 0)
+            .map(|(i, w)| ProcessId((i * 64) as u32 + w.trailing_zeros()))
     }
 
     /// The maximum process in the set, if any.
     pub fn max(self) -> Option<ProcessId> {
-        if self.is_empty() {
-            None
-        } else {
-            Some(ProcessId(127 - self.0.leading_zeros()))
-        }
+        self.0
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, w)| **w != 0)
+            .map(|(i, w)| ProcessId((i * 64) as u32 + 63 - w.leading_zeros()))
     }
 
     /// Iterates over the processes in ascending order.
     pub fn iter(self) -> Iter {
-        Iter(self.0)
+        Iter {
+            words: self.0,
+            word: 0,
+        }
+    }
+}
+
+impl PartialOrd for ProcessSet {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ProcessSet {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Numeric order of the encoded bit pattern: high words first.
+        self.0.iter().rev().cmp(other.0.iter().rev())
     }
 }
 
@@ -193,23 +220,33 @@ impl fmt::Display for ProcessSet {
 
 /// Iterator over the processes of a [`ProcessSet`] in ascending order.
 #[derive(Debug, Clone)]
-pub struct Iter(u128);
+pub struct Iter {
+    words: [u64; WORDS],
+    word: usize,
+}
 
 impl Iterator for Iter {
     type Item = ProcessId;
 
     fn next(&mut self) -> Option<ProcessId> {
-        if self.0 == 0 {
-            None
-        } else {
-            let idx = self.0.trailing_zeros();
-            self.0 &= self.0 - 1;
-            Some(ProcessId(idx))
+        while self.word < WORDS {
+            let w = self.words[self.word];
+            if w == 0 {
+                self.word += 1;
+                continue;
+            }
+            let idx = w.trailing_zeros();
+            self.words[self.word] = w & (w - 1);
+            return Some(ProcessId((self.word * 64) as u32 + idx));
         }
+        None
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.0.count_ones() as usize;
+        let n: usize = self.words[self.word.min(WORDS)..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
         (n, Some(n))
     }
 }
@@ -257,47 +294,59 @@ impl Extend<ProcessId> for ProcessSet {
 
 impl std::ops::BitOr for ProcessSet {
     type Output = ProcessSet;
-    fn bitor(self, rhs: ProcessSet) -> ProcessSet {
-        ProcessSet(self.0 | rhs.0)
+    fn bitor(mut self, rhs: ProcessSet) -> ProcessSet {
+        for i in 0..WORDS {
+            self.0[i] |= rhs.0[i];
+        }
+        self
     }
 }
 
 impl std::ops::BitOrAssign for ProcessSet {
     fn bitor_assign(&mut self, rhs: ProcessSet) {
-        self.0 |= rhs.0;
+        *self = *self | rhs;
     }
 }
 
 impl std::ops::BitAnd for ProcessSet {
     type Output = ProcessSet;
-    fn bitand(self, rhs: ProcessSet) -> ProcessSet {
-        ProcessSet(self.0 & rhs.0)
+    fn bitand(mut self, rhs: ProcessSet) -> ProcessSet {
+        for i in 0..WORDS {
+            self.0[i] &= rhs.0[i];
+        }
+        self
     }
 }
 
 impl std::ops::BitAndAssign for ProcessSet {
     fn bitand_assign(&mut self, rhs: ProcessSet) {
-        self.0 &= rhs.0;
+        *self = *self & rhs;
     }
 }
 
 impl std::ops::BitXor for ProcessSet {
     type Output = ProcessSet;
-    fn bitxor(self, rhs: ProcessSet) -> ProcessSet {
-        ProcessSet(self.0 ^ rhs.0)
+    fn bitxor(mut self, rhs: ProcessSet) -> ProcessSet {
+        for i in 0..WORDS {
+            self.0[i] ^= rhs.0[i];
+        }
+        self
     }
 }
 
 impl std::ops::Sub for ProcessSet {
     type Output = ProcessSet;
-    fn sub(self, rhs: ProcessSet) -> ProcessSet {
-        ProcessSet(self.0 & !rhs.0)
+    fn sub(mut self, rhs: ProcessSet) -> ProcessSet {
+        for i in 0..WORDS {
+            self.0[i] &= !rhs.0[i];
+        }
+        self
     }
 }
 
 impl std::ops::SubAssign for ProcessSet {
     fn sub_assign(&mut self, rhs: ProcessSet) {
-        self.0 &= !rhs.0;
+        *self = *self - rhs;
     }
 }
 
@@ -321,7 +370,7 @@ mod tests {
 
     #[test]
     fn first_n_has_n_elements() {
-        for n in [0usize, 1, 5, 64, 127, 128] {
+        for n in [0usize, 1, 5, 64, 127, 128, 200, 511, 512] {
             let s = ProcessSet::first_n(n);
             assert_eq!(s.len(), n);
             if n > 0 {
@@ -337,7 +386,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at most")]
     fn first_n_rejects_oversize() {
-        let _ = ProcessSet::first_n(129);
+        let _ = ProcessSet::first_n(MAX_PROCESSES + 1);
     }
 
     #[test]
@@ -353,6 +402,27 @@ mod tests {
     }
 
     #[test]
+    fn set_algebra_across_words() {
+        let g: ProcessSet = [0u32, 70, 300, 511].into_iter().collect();
+        let h: ProcessSet = [70u32, 300].into_iter().collect();
+        assert_eq!(g & h, h);
+        assert_eq!((g - h).len(), 2);
+        assert_eq!((g | h).len(), 4);
+        assert!(h.is_subset(g));
+    }
+
+    #[test]
+    fn order_matches_numeric_encoding() {
+        // Numeric bit-pattern order: {p64} > {p0..p63}, and within a word
+        // the usual integer order.
+        let low = ProcessSet::first_n(64);
+        let high = ProcessSet::singleton(ProcessId(64));
+        assert!(low < high);
+        assert!(ProcessSet::singleton(ProcessId(1)) > ProcessSet::singleton(ProcessId(0)));
+        assert!(ProcessSet::EMPTY < ProcessSet::singleton(ProcessId(0)));
+    }
+
+    #[test]
     fn subset_superset() {
         let g: ProcessSet = [0u32, 1, 2].into_iter().collect();
         let h: ProcessSet = [1u32, 2].into_iter().collect();
@@ -364,17 +434,17 @@ mod tests {
 
     #[test]
     fn iteration_is_ascending() {
-        let s: ProcessSet = [9u32, 3, 127, 0].into_iter().collect();
+        let s: ProcessSet = [9u32, 3, 127, 0, 400].into_iter().collect();
         let v: Vec<u32> = s.iter().map(|p| p.0).collect();
-        assert_eq!(v, vec![0, 3, 9, 127]);
-        assert_eq!(s.iter().len(), 4);
+        assert_eq!(v, vec![0, 3, 9, 127, 400]);
+        assert_eq!(s.iter().len(), 5);
     }
 
     #[test]
     fn min_max() {
-        let s: ProcessSet = [9u32, 3, 127].into_iter().collect();
+        let s: ProcessSet = [9u32, 3, 127, 509].into_iter().collect();
         assert_eq!(s.min(), Some(ProcessId(3)));
-        assert_eq!(s.max(), Some(ProcessId(127)));
+        assert_eq!(s.max(), Some(ProcessId(509)));
         assert_eq!(ProcessSet::EMPTY.min(), None);
         assert_eq!(ProcessSet::EMPTY.max(), None);
     }

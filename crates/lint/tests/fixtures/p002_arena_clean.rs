@@ -1,0 +1,11 @@
+// golden: the same struct-of-arrays fold in pure integer arithmetic —
+// every column word enters the FNV stream unscaled; zero diagnostics.
+pub struct UnitColumns {
+    pub len: Vec<u32>,
+}
+pub fn fold_units(cols: &UnitColumns, mut acc: u64) -> u64 {
+    for &len in &cols.len {
+        acc = acc.wrapping_mul(0x100000001B3) ^ u64::from(len);
+    }
+    acc ^ cols.len.len() as u64
+}

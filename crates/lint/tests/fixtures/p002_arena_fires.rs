@@ -1,0 +1,12 @@
+// golden: an arena-style struct-of-arrays fold that launders a float
+// through its fingerprint — P002 fires on the f32 cast (8) and the float
+// literal (9).
+pub struct UnitColumns {
+    pub len: Vec<u32>,
+}
+pub fn fold_units(cols: &UnitColumns, mut acc: u64) -> u64 {
+    let load = cols.len.len() as f32;
+    let scaled = load * 1.5;
+    acc = acc.wrapping_mul(0x100000001B3) ^ (scaled as u64);
+    acc
+}

@@ -203,6 +203,38 @@ fn p002_fires_and_passes_only_in_digest_scope() {
 }
 
 #[test]
+fn p002_covers_the_interned_arena_module() {
+    // The flat protocol core folds its struct-of-arrays state into
+    // digests/fingerprints, so `crates/core/src/arena.rs` sits in the
+    // [digest] scope: a float laundered through an arena fold fires, the
+    // integer-only fold scans clean, and the same code out of scope is
+    // none of P002's business.
+    let cfg = Config {
+        deterministic: vec!["crates/core".into()],
+        digest: vec!["crates/core/src/arena.rs".into()],
+        ..Config::default()
+    };
+    const ARENA: &str = "crates/core/src/arena.rs";
+    let fired = scan_fixture("p002_arena_fires.rs", ARENA, &cfg);
+    assert_eq!(
+        findings(&fired),
+        vec![("P002", 8), ("P002", 9)],
+        "{}",
+        fired.to_text()
+    );
+    assert!(fired.failed(false), "P002 is an error in scope");
+    let clean = scan_fixture("p002_arena_clean.rs", ARENA, &cfg);
+    assert_eq!(findings(&clean), vec![], "{}", clean.to_text());
+    let out_of_scope = scan_fixture("p002_arena_fires.rs", ELSEWHERE, &cfg);
+    assert_eq!(
+        findings(&out_of_scope),
+        vec![],
+        "{}",
+        out_of_scope.to_text()
+    );
+}
+
+#[test]
 fn reasonless_suppression_is_a_diagnostic_and_suppresses_nothing() {
     let cfg = config();
     let r = scan_fixture("s001_reasonless.rs", DET, &cfg);

@@ -173,6 +173,11 @@ pub enum CrashPlan {
         count: u32,
     },
     /// Crash `count` seeded-random processes at seeded-random times.
+    /// Victims additionally keep every nonempty `g ∩ h` live: fully
+    /// crashing an edge of a chorded-but-live cyclic family is the
+    /// Lemma 25 traversal-semantics corner (DESIGN.md "Deviations",
+    /// note 1) where `γ` never excludes the dead edge and termination
+    /// legitimately stalls.
     Rand {
         /// Number of victims (best effort; fewer when eligibility runs out).
         count: u32,
@@ -399,8 +404,11 @@ impl ScnDescriptor {
     }
 
     /// Checks the parameter bounds that keep generation total (no panics
-    /// downstream): process count ≤ 64, group count ≤ 12 (cyclic-family
-    /// enumeration stays cheap), family minimums, density/exponent ranges.
+    /// downstream). Acyclic families scale to the bitset widths — 512
+    /// processes, 256 groups — since `ℱ = ∅` costs nothing to enumerate.
+    /// Cyclic families stay much smaller (`ring`/`randcyclic` ≤ 16 groups,
+    /// `hub` ≤ 12, `rand` ≤ 8): cyclic-family enumeration is exponential in
+    /// the 2-core of the intersection graph and hard-caps at 20 groups.
     ///
     /// # Errors
     ///
@@ -416,29 +424,32 @@ impl ScnDescriptor {
         };
         match self.family {
             Family::Fig1 => {}
-            Family::Single { n } => check((1..=64).contains(&n), "single: 1 <= n <= 64")?,
+            Family::Single { n } => check((1..=512).contains(&n), "single: 1 <= n <= 512")?,
             Family::Disjoint { k, size } => {
-                check((1..=12).contains(&k), "disjoint: 1 <= k <= 12")?;
+                check((1..=256).contains(&k), "disjoint: 1 <= k <= 256")?;
                 check(size >= 1, "disjoint: size >= 1")?;
-                check(k * size <= 64, "disjoint: k*size <= 64 processes")?;
+                check(k * size <= 512, "disjoint: k*size <= 512 processes")?;
             }
             Family::Chain { k, size } => {
-                check((1..=12).contains(&k), "chain: 1 <= k <= 12")?;
+                check((1..=256).contains(&k), "chain: 1 <= k <= 256")?;
                 check((2..=8).contains(&size), "chain: 2 <= size <= 8")?;
-                check((k + 1) + k * (size - 2) <= 64, "chain: process count <= 64")?;
+                check(
+                    (k + 1) + k * (size - 2) <= 512,
+                    "chain: process count <= 512",
+                )?;
             }
             Family::Ring { k, size } => {
-                check((3..=12).contains(&k), "ring: 3 <= k <= 12")?;
+                check((3..=16).contains(&k), "ring: 3 <= k <= 16")?;
                 check((2..=8).contains(&size), "ring: 2 <= size <= 8")?;
-                check(k + k * (size - 2) <= 64, "ring: process count <= 64")?;
+                check(k + k * (size - 2) <= 512, "ring: process count <= 512")?;
             }
             Family::Hub { k, size } => {
                 check((1..=12).contains(&k), "hub: 1 <= k <= 12")?;
                 check((2..=8).contains(&size), "hub: 2 <= size <= 8")?;
-                check(k * (size - 1) < 64, "hub: process count <= 64")?;
+                check(k * (size - 1) < 512, "hub: process count <= 512")?;
             }
             Family::Two { size, overlap } => {
-                check((1..=32).contains(&size), "two: 1 <= size <= 32")?;
+                check((1..=256).contains(&size), "two: 1 <= size <= 256")?;
                 check(overlap >= 1 && overlap <= size, "two: 1 <= overlap <= size")?;
             }
             Family::Rand {
@@ -446,7 +457,7 @@ impl ScnDescriptor {
                 k,
                 density_permille,
             } => {
-                check((4..=32).contains(&n), "rand: 4 <= n <= 32")?;
+                check((4..=64).contains(&n), "rand: 4 <= n <= 64")?;
                 check((1..=8).contains(&k) && k <= n, "rand: 1 <= k <= min(8, n)")?;
                 check(
                     (100..=900).contains(&density_permille),
@@ -454,15 +465,15 @@ impl ScnDescriptor {
                 )?;
             }
             Family::RandAcyclic { k, size } => {
-                check((2..=12).contains(&k), "randacyclic: 2 <= k <= 12")?;
+                check((2..=256).contains(&k), "randacyclic: 2 <= k <= 256")?;
                 check((2..=8).contains(&size), "randacyclic: 2 <= size <= 8")?;
                 check(
-                    (k - 1) + k * (size - 1) <= 64,
-                    "randacyclic: process count <= 64",
+                    (k - 1) + k * (size - 1) <= 512,
+                    "randacyclic: process count <= 512",
                 )?;
             }
             Family::RandCyclic { k, size, chords } => {
-                check((3..=12).contains(&k), "randcyclic: 3 <= k <= 12")?;
+                check((3..=16).contains(&k), "randcyclic: 3 <= k <= 16")?;
                 check((2..=8).contains(&size), "randcyclic: 2 <= size <= 8")?;
                 check(chords <= 8, "randcyclic: chords <= 8")?;
                 check(
@@ -470,16 +481,16 @@ impl ScnDescriptor {
                     "randcyclic: chords need k >= 4 (no non-adjacent pairs in a triangle)",
                 )?;
                 check(
-                    k + k * (size - 2) + chords <= 64,
-                    "randcyclic: process count <= 64",
+                    k + k * (size - 2) + chords <= 512,
+                    "randcyclic: process count <= 512",
                 )?;
             }
         }
         match self.crash {
             CrashPlan::None => {}
             CrashPlan::Isect { count } | CrashPlan::Rand { count } => {
-                if count > 32 {
-                    return invalid("crash: count <= 32".to_string());
+                if count > 256 {
+                    return invalid("crash: count <= 256".to_string());
                 }
             }
         }
@@ -753,7 +764,7 @@ mod tests {
                 matches!(e, BadValue { key: "family", .. })
             }),
             ("gam-scn v1 family=ring(2,2)", |e| matches!(e, Invalid(_))),
-            ("gam-scn v1 family=single(99)", |e| matches!(e, Invalid(_))),
+            ("gam-scn v1 family=single(999)", |e| matches!(e, Invalid(_))),
             ("gam-scn v1 family=fig1 seed=banana", |e| {
                 matches!(e, BadValue { key: "seed", .. })
             }),
@@ -776,6 +787,37 @@ mod tests {
             assert!(matches(&err), "{text:?} gave unexpected error: {err}");
             // every error renders a message
             assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn acyclic_families_scale_to_the_bitset_widths() {
+        // In-bounds large instances: hundreds of groups / processes.
+        for text in [
+            "gam-scn v1 family=single(512)",
+            "gam-scn v1 family=disjoint(256,2)",
+            "gam-scn v1 family=chain(170,3)",
+            "gam-scn v1 family=randacyclic(240,2)",
+            "gam-scn v1 family=two(256,4)",
+            "gam-scn v1 family=ring(16,2)",
+            "gam-scn v1 family=rand(64,8,450)",
+            "gam-scn v1 family=fig1 crash=rand(256)",
+        ] {
+            ScnDescriptor::parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        }
+        // One past each cap still rejects.
+        for text in [
+            "gam-scn v1 family=single(513)",
+            "gam-scn v1 family=randacyclic(257,2)",
+            "gam-scn v1 family=randacyclic(256,3)", // 255 + 256*2 > 512
+            "gam-scn v1 family=ring(17,2)",         // cyclic: 2-core cap
+            "gam-scn v1 family=rand(65,8,450)",
+            "gam-scn v1 family=fig1 crash=rand(257)",
+        ] {
+            assert!(
+                matches!(ScnDescriptor::parse(text), Err(ScnError::Invalid(_))),
+                "{text} should be out of bounds"
+            );
         }
     }
 

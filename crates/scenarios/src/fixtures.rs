@@ -27,6 +27,14 @@ pub const FIXTURES: &[(&str, &str)] = &[
         "two_overlapping_3_1",
         "gam-scn v1 family=two(3,1) seed=3 crash=none traffic=one variant=standard budget=500000",
     ),
+    // The large-instance pin: a 240-group random tree over 479 processes
+    // with Zipf-skewed traffic and staggered intersection crashes — the
+    // sustained-load shape the `throughput` bench runs, committed here so
+    // the bench, the smoke test and CI all address one descriptor.
+    (
+        "large_tree_240",
+        "gam-scn v1 family=randacyclic(240,2) seed=9 crash=isect(4) traffic=zipf(1100,480) variant=standard budget=2000000",
+    ),
 ];
 
 /// Looks up a pinned fixture descriptor by name.
@@ -56,15 +64,31 @@ mod tests {
 
     #[test]
     fn all_fixtures_parse_and_render_canonically() {
+        use crate::descriptor::{CrashPlan, TrafficPlan};
         for (name, text) in FIXTURES {
             let d = fixture(name);
             assert_eq!(&d.render(), text, "{name} is pinned in canonical form");
             // the descriptor regenerates a valid system
             let gen = d.generate();
             assert!(!gen.system.is_empty());
-            assert_eq!(gen.submissions.len(), gen.system.len());
-            assert!(gen.crashes.is_empty());
+            if d.traffic == TrafficPlan::One {
+                assert_eq!(gen.submissions.len(), gen.system.len());
+            } else {
+                assert!(!gen.submissions.is_empty());
+            }
+            assert_eq!(gen.crashes.is_empty(), d.crash == CrashPlan::None, "{name}");
         }
+    }
+
+    #[test]
+    fn large_tree_fixture_reaches_hundreds_of_groups() {
+        let gen = fixture("large_tree_240").generate();
+        assert_eq!(gen.system.len(), 240, "hundreds of groups");
+        assert_eq!(gen.system.universe().len(), 479);
+        assert_eq!(gen.crashes.len(), 4);
+        assert_eq!(gen.submissions.len(), 480);
+        // acyclic by construction: generation stays cheap at this scale
+        assert!(gen.system.cyclic_families().is_empty());
     }
 
     #[test]

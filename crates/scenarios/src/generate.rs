@@ -150,6 +150,28 @@ fn keeps_groups_live(system: &GroupSystem, victims: ProcessSet, p: ProcessId) ->
     system.iter().all(|(_, members)| !(members - v).is_empty())
 }
 
+/// Whether crashing `p` on top of `victims` also leaves every nonempty
+/// pairwise intersection `g ∩ h` with at least one live member. This is the
+/// stricter eligibility rule of [`CrashPlan::Rand`]: a fully crashed edge
+/// inside a *chorded* cyclic family that stays alive through another
+/// hamiltonian cycle is exactly the Lemma 25 corner flagged in DESIGN.md
+/// ("Deviations", note 1) — under traversal semantics `γ` never excludes
+/// the dead edge's groups, the line-32 stable guard blocks forever, and
+/// termination legitimately stalls. Keeping every edge live keeps the
+/// random-churn corpus inside the regime where the two faultiness readings
+/// agree and the corpus termination obligation is meaningful.
+fn keeps_edges_live(system: &GroupSystem, victims: ProcessSet, p: ProcessId) -> bool {
+    if !keeps_groups_live(system, victims, p) {
+        return false;
+    }
+    let mut v = victims;
+    v.insert(p);
+    system
+        .intersecting_pairs()
+        .into_iter()
+        .all(|(g, h)| !(system.intersection(g, h) - v).is_empty())
+}
+
 fn crashes_for(d: &ScnDescriptor, system: &GroupSystem) -> Vec<(ProcessId, Time)> {
     let mut out = Vec::new();
     let mut victims = ProcessSet::new();
@@ -184,7 +206,7 @@ fn crashes_for(d: &ScnDescriptor, system: &GroupSystem) -> Vec<(ProcessId, Time)
                     break;
                 }
                 let p = pool[rng.gen_range(0usize..pool.len())];
-                if !victims.contains(p) && keeps_groups_live(system, victims, p) {
+                if !victims.contains(p) && keeps_edges_live(system, victims, p) {
                     victims.insert(p);
                     out.push((p, Time(1 + rng.gen_range(0u64..50))));
                 }
@@ -347,6 +369,34 @@ mod tests {
                         "seed {seed} {crash:?}: {g} retains a live member"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn rand_crash_victims_keep_every_edge_live() {
+        // Dense cyclic topologies form chorded families; a fully crashed
+        // edge inside a live family is the Lemma 25 corner where γ never
+        // excludes it and termination stalls. The Rand plan must not
+        // generate such patterns.
+        for seed in 0..30 {
+            let mut d = desc(Family::Rand {
+                n: 8,
+                k: 4,
+                density_permille: 450,
+            })
+            .with_seed(seed);
+            d.crash = CrashPlan::Rand { count: 3 };
+            let gen = d.generate();
+            let mut victims = ProcessSet::new();
+            for (p, _) in &gen.crashes {
+                victims.insert(*p);
+            }
+            for (g, h) in gen.system.intersecting_pairs() {
+                assert!(
+                    !(gen.system.intersection(g, h) - victims).is_empty(),
+                    "seed {seed}: {g} ∩ {h} fully crashed"
+                );
             }
         }
     }

@@ -101,6 +101,33 @@ pub fn corpus() -> Vec<(&'static str, ScnDescriptor)> {
                 one,
             ),
         ),
+        // Crash/churn variants: the same committed templates under failures.
+        // `chain_crash` kills one adversarial intersection process (the
+        // paper's victim shape) on an acyclic topology, where γ owes
+        // nothing and termination survives even a fully crashed overlap;
+        // `rand_churn` staggers seeded-random crashes across a dense cyclic
+        // topology, where victims keep every group *and* every pairwise
+        // intersection live (the `CrashPlan::Rand` eligibility rule) so the
+        // sweep stays out of the Lemma 25 traversal-semantics corner
+        // (DESIGN.md "Deviations", note 1). Within that regime the corpus
+        // termination obligation holds and a violation is a real bug.
+        ("chain_crash", {
+            let mut d = entry(Family::Chain { k: 4, size: 3 }, uniform);
+            d.crash = CrashPlan::Isect { count: 1 };
+            d
+        }),
+        ("rand_churn", {
+            let mut d = entry(
+                Family::Rand {
+                    n: 8,
+                    k: 4,
+                    density_permille: 450,
+                },
+                zipf,
+            );
+            d.crash = CrashPlan::Rand { count: 2 };
+            d
+        }),
     ]
 }
 
@@ -132,5 +159,10 @@ mod tests {
         }
         assert!(acyclic >= 2, "corpus has acyclic families");
         assert!(cyclic >= 2, "corpus has cyclic families");
+        let crashing = corpus
+            .iter()
+            .filter(|(_, d)| d.crash != CrashPlan::None)
+            .count();
+        assert!(crashing >= 2, "corpus has crash/churn templates");
     }
 }

@@ -195,6 +195,14 @@ fn generated_scenario_grid_conforms_across_substrates() {
             Family::Single { .. } | Family::Disjoint { .. }
         );
         for (i, p) in gs.universe().iter().enumerate() {
+            // A faulty process delivers some timing-dependent prefix before
+            // its crash instant, and the two substrates' clocks reach that
+            // instant at different schedule points — cross-substrate
+            // agreement is only promised where the spec looks: at correct
+            // processes.
+            if scenario.crashes.iter().any(|(victim, _)| *victim == p) {
+                continue;
+            }
             if order_free {
                 assert_eq!(rt_orders[i], k_orders[i], "{descriptor} order at {p}");
             }
