@@ -60,6 +60,9 @@ fn stats_row(mode: &str, topology: &str, stats: &ExploreStats, threads: usize) -
         ),
         ("steps_executed", Json::from(stats.steps_executed)),
         ("snapshots_taken", Json::from(stats.snapshots_taken)),
+        ("snapshot_bytes", Json::from(stats.snapshot_bytes)),
+        ("snapshot_bytes_peak", Json::from(stats.snapshot_bytes_peak)),
+        ("por_pruned", Json::from(stats.por_pruned)),
         (
             "steps_avoided_permille",
             Json::from(stats.steps_avoided_permille()),

@@ -180,6 +180,12 @@ fn main() {
                 ("dedup_hit_permille", Json::from(permille)),
                 ("steps_executed", Json::from(pruned.steps_executed)),
                 ("snapshots_taken", Json::from(pruned.snapshots_taken)),
+                ("snapshot_bytes", Json::from(pruned.snapshot_bytes)),
+                (
+                    "snapshot_bytes_peak",
+                    Json::from(pruned.snapshot_bytes_peak),
+                ),
+                ("por_pruned", Json::from(pruned.por_pruned)),
                 (
                     "steps_avoided_permille",
                     Json::from(pruned.steps_avoided_permille()),

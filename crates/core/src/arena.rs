@@ -38,7 +38,7 @@ use crate::phase::Phase;
 use crate::runtime::{RuntimeConfig, Variant};
 use gam_detectors::{IndicatorMode, IndicatorOracle, MuOracle};
 use gam_groups::{GroupId, GroupSet, GroupSystem};
-use gam_kernel::{FailurePattern, ProcessId, Time};
+use gam_kernel::{CowVec, FailurePattern, ProcessId, Time};
 
 /// Sentinel for "no rank": `p` is not a member of the indexing group.
 pub(crate) const NO_RANK: u16 = u16::MAX;
@@ -60,12 +60,14 @@ pub(crate) const T_DELIVER: usize = 2;
 ///
 /// The runtime's hot paths only ever need one column at a time (almost
 /// always the destination group), so the arena stores sources, groups and
-/// payloads in parallel vectors instead of an array of structs.
+/// payloads in parallel vectors instead of an array of structs. The
+/// columns are chunked [`CowVec`]s: cloning the arena (an engine
+/// snapshot) shares every sealed chunk instead of copying the columns.
 #[derive(Debug, Clone, Default)]
 pub struct MessageArena {
-    src: Vec<ProcessId>,
-    group: Vec<GroupId>,
-    payload: Vec<u64>,
+    src: CowVec<ProcessId>,
+    group: CowVec<GroupId>,
+    payload: CowVec<u64>,
 }
 
 impl MessageArena {
@@ -109,6 +111,16 @@ impl MessageArena {
         (0..self.len())
             .map(|i| self.get(MessageId(i as u64)))
             .collect()
+    }
+
+    /// Bytes a `Clone` of the arena copies (chunk pointer tables only).
+    pub fn shallow_bytes(&self) -> u64 {
+        self.src.shallow_bytes() + self.group.shallow_bytes() + self.payload.shallow_bytes()
+    }
+
+    /// Bytes a deep column copy would have copied.
+    pub fn deep_bytes(&self) -> u64 {
+        self.src.deep_bytes() + self.group.deep_bytes() + self.payload.deep_bytes()
     }
 }
 
@@ -492,33 +504,37 @@ pub(crate) struct PairState {
 /// Per-unit columns are indexed by unit id; the per-adjacency, per-member
 /// and per-family columns are flat slices addressed via the `*_base`
 /// offsets (units of different groups have different widths).
+///
+/// Every column is a chunked [`CowVec`]: a runtime clone (= an engine
+/// snapshot) shares the sealed chunks, and post-snapshot writes copy only
+/// the touched chunk — O(delta) per branch point instead of O(state).
 #[derive(Debug, Clone, Default)]
 pub(crate) struct UnitArena {
-    pub group: Vec<GroupId>,
-    pub start: Vec<u32>,
-    pub len: Vec<u32>,
-    pub rep: Vec<MessageId>,
-    adj_base: Vec<u32>,
-    mem_base: Vec<u32>,
-    fam_base: Vec<u32>,
+    pub group: CowVec<GroupId>,
+    pub start: CowVec<u32>,
+    pub len: CowVec<u32>,
+    pub rep: CowVec<MessageId>,
+    adj_base: CowVec<u32>,
+    mem_base: CowVec<u32>,
+    fam_base: CowVec<u32>,
     /// Per `(unit, adjacency)`: slot of the unit's `Msg` entry in the pair
     /// (`0` = not appended yet; real slots start at 1).
-    pub slot: Vec<u64>,
+    pub slot: CowVec<u64>,
     /// Per `(unit, adjacency)`: whether the entry is locked (line 23).
-    pub locked: Vec<bool>,
+    pub locked: CowVec<bool>,
     /// Per `(unit, adjacency)`: index of the entry in the pair's order.
-    pub order_idx: Vec<u32>,
+    pub order_idx: CowVec<u32>,
     /// Per `(unit, adjacency)`: highest announced position `(m, h, i)` in
     /// `LOG_g` (`0` = none). Positions are non-decreasing per `(unit, h)`,
     /// so the maximum doubles as the idempotence check.
-    pub ann_max: Vec<u64>,
+    pub ann_max: CowVec<u64>,
     /// Per `(unit, adjacency)`: whether `(m, h) ∈ LOG_g` (line 29).
-    pub stab: Vec<bool>,
+    pub stab: CowVec<bool>,
     /// Per `(unit, member rank)`: the phase at that member.
-    pub phase: Vec<Phase>,
+    pub phase: CowVec<Phase>,
     /// Per `(unit, family rank)`: the consensus decision (`0` = undecided;
     /// decided positions are ≥ 1).
-    pub cons: Vec<u64>,
+    pub cons: CowVec<u64>,
 }
 
 impl UnitArena {
@@ -585,6 +601,42 @@ impl UnitArena {
             .get(u as usize + 1)
             .map_or(self.slot.len(), |&x| x as usize);
         e - b
+    }
+
+    /// Bytes a `Clone` of the arena copies (chunk pointer tables only).
+    pub fn shallow_bytes(&self) -> u64 {
+        self.group.shallow_bytes()
+            + self.start.shallow_bytes()
+            + self.len.shallow_bytes()
+            + self.rep.shallow_bytes()
+            + self.adj_base.shallow_bytes()
+            + self.mem_base.shallow_bytes()
+            + self.fam_base.shallow_bytes()
+            + self.slot.shallow_bytes()
+            + self.locked.shallow_bytes()
+            + self.order_idx.shallow_bytes()
+            + self.ann_max.shallow_bytes()
+            + self.stab.shallow_bytes()
+            + self.phase.shallow_bytes()
+            + self.cons.shallow_bytes()
+    }
+
+    /// Bytes a deep column copy would have copied.
+    pub fn deep_bytes(&self) -> u64 {
+        self.group.deep_bytes()
+            + self.start.deep_bytes()
+            + self.len.deep_bytes()
+            + self.rep.deep_bytes()
+            + self.adj_base.deep_bytes()
+            + self.mem_base.deep_bytes()
+            + self.fam_base.deep_bytes()
+            + self.slot.deep_bytes()
+            + self.locked.deep_bytes()
+            + self.order_idx.deep_bytes()
+            + self.ann_max.deep_bytes()
+            + self.stab.deep_bytes()
+            + self.phase.deep_bytes()
+            + self.cons.deep_bytes()
     }
 }
 

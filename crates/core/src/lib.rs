@@ -24,4 +24,7 @@ pub mod variants;
 pub use arena::MessageArena;
 pub use message::{Datum, MessageId, MessageInfo};
 pub use phase::Phase;
-pub use runtime::{ActionScheduler, Delivery, Fired, RunReport, Runtime, RuntimeConfig, Variant};
+pub use runtime::{
+    ActionDesc, ActionKind, ActionScheduler, Delivery, Fired, RunReport, Runtime, RuntimeConfig,
+    Variant,
+};

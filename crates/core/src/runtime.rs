@@ -57,7 +57,7 @@ use crate::message::{MessageId, MessageInfo};
 use crate::phase::Phase;
 use gam_detectors::{MuConfig, MuOracle};
 use gam_groups::{GroupId, GroupSystem};
-use gam_kernel::{FailurePattern, ProcessId, ProcessSet, RunOutcome, ScheduleSource, Time};
+use gam_kernel::{CowVec, FailurePattern, ProcessId, ProcessSet, RunOutcome, ScheduleSource, Time};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -121,6 +121,54 @@ enum Action {
     Stable(MessageId),
     /// Lines 34–37.
     Deliver(MessageId),
+}
+
+/// The classification of an enabled action that the explorer's
+/// independence relation keys on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActionKind {
+    /// Help-multicast the next listed message (line 7 + Prop. 1).
+    Inject,
+    /// Lines 8–15.
+    Pending,
+    /// Lines 16–24.
+    Commit,
+    /// Lines 25–29.
+    Stabilize,
+    /// Lines 30–33.
+    Stable,
+    /// Lines 34–37 — the only action that records wall-clock state (local
+    /// delivery times), which is why the independence relation never
+    /// commutes deliveries.
+    Deliver,
+}
+
+/// An enabled action, described for the explorer's independence relation:
+/// who steps, what kind of action fires, and which group's protocol state
+/// it touches.
+///
+/// An action of process `p` about a unit of group `g` reads and writes
+/// only the shared pairs `{g, h}` for `h ∈ 𝒢(p)` (see the arena
+/// module's `per_gp` views), so two descriptors' touched pair
+/// sets are disjoint iff their groups differ and neither process belongs
+/// to the other action's group — the commutation test the explorer's
+/// sleep sets build on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActionDesc {
+    /// The stepping process.
+    pub pid: ProcessId,
+    /// The action kind.
+    pub kind: ActionKind,
+    /// The group whose unit/pair state the action touches.
+    pub group: GroupId,
+    /// The representative message of the action's unit (the injected
+    /// message for `Inject`) — a stable diagnostic label.
+    pub rep: MessageId,
+    /// Disambiguator within the kind: the target group of a `Stabilize`
+    /// (several can be enabled at once for the same unit), `0` otherwise.
+    /// Descriptor equality then identifies one enabled action exactly —
+    /// the matching the explorer's sleep sets rely on.
+    pub aux: u32,
 }
 
 /// What a single [`Runtime::fire_enabled`] call did.
@@ -187,7 +235,22 @@ impl RunReport {
     }
 }
 
+/// Chunk capacity of the chunked per-process/per-message columns: small
+/// enough that a post-snapshot write copies little, big enough that the
+/// pointer tables stay tiny.
+const COL_CHUNK: usize = 32;
+
+/// Chunk capacity of the chunked rows holding heap payloads (pair states,
+/// active lists, delivery logs): a copied chunk deep-clones its rows, so
+/// these chunks stay narrow.
+const ROW_CHUNK: usize = 4;
+
 /// The Algorithm 1 runtime. See the module docs.
+///
+/// All evolving state lives in [`CowVec`] columns or behind `Arc`s, so a
+/// `Clone` (= an engine snapshot) copies chunk pointer tables and a few
+/// plain scalars — O(state / chunk) — and continuing execution after a
+/// snapshot copies only the chunks it actually touches.
 #[derive(Debug, Clone)]
 pub struct Runtime {
     /// Immutable interned topology/oracle tables, shared across clones —
@@ -196,26 +259,29 @@ pub struct Runtime {
     scheduler: ActionScheduler,
     now: Time,
     // Shared objects, flat.
-    pairs: Vec<PairState>,
+    pairs: CowVec<PairState>,
     units: UnitArena,
-    lists: Vec<Vec<MessageId>>,
+    /// Append-only submission lists `L_g`, shared across clones (mutated
+    /// only by [`Runtime::multicast`], never by protocol actions).
+    lists: Arc<Vec<Vec<MessageId>>>,
     /// Per message: owning unit, or [`NO_UNIT`] before injection.
-    unit_of: Vec<u32>,
+    unit_of: CowVec<u32>,
     /// Per group: first `L_g` index not yet claimed by a unit.
     next_new: Vec<u32>,
     // Message metadata.
     arena: MessageArena,
-    multicast_at: Vec<Time>,
+    /// Submission times, shared like `lists`.
+    multicast_at: Arc<Vec<Time>>,
     // Per-process state.
     /// Per `(group, member)`: first `L_g` index not locally delivered —
     /// the inject guard's cursor.
-    inject_cursor: Vec<u32>,
+    inject_cursor: CowVec<u32>,
     /// Per process: units addressed to it that it has not delivered.
-    active: Vec<Vec<u32>>,
-    delivered: Vec<Vec<Delivery>>,
-    actions_of: Vec<u64>,
+    active: CowVec<Vec<u32>>,
+    delivered: CowVec<Vec<Delivery>>,
+    actions_of: CowVec<u64>,
     /// Per process: undelivered messages addressed to it (obligations).
-    owed: Vec<u64>,
+    owed: CowVec<u64>,
     rr_cursor: usize,
     rng: StdRng,
     /// Reusable enabled-action buffer for the allocation-free hot path.
@@ -240,18 +306,18 @@ impl Runtime {
         Runtime {
             scheduler: config.scheduler,
             now: Time::ZERO,
-            pairs,
+            pairs: CowVec::from_vec(ROW_CHUNK, pairs),
             units: UnitArena::default(),
-            lists: vec![Vec::new(); tables.n_groups],
-            unit_of: Vec::new(),
+            lists: Arc::new(vec![Vec::new(); tables.n_groups]),
+            unit_of: CowVec::new(COL_CHUNK),
             next_new: vec![0; tables.n_groups],
             arena: MessageArena::default(),
-            multicast_at: Vec::new(),
-            inject_cursor: vec![0; total_gm],
-            active: vec![Vec::new(); n],
-            delivered: vec![Vec::new(); n],
-            actions_of: vec![0; n],
-            owed: vec![0; n],
+            multicast_at: Arc::new(Vec::new()),
+            inject_cursor: CowVec::from_vec(COL_CHUNK, vec![0; total_gm]),
+            active: CowVec::from_vec(ROW_CHUNK, vec![Vec::new(); n]),
+            delivered: CowVec::from_vec(ROW_CHUNK, vec![Vec::new(); n]),
+            actions_of: CowVec::from_vec(COL_CHUNK, vec![0; n]),
+            owed: CowVec::from_vec(COL_CHUNK, vec![0; n]),
             rr_cursor: 0,
             rng: StdRng::seed_from_u64(config.seed),
             scratch: Vec::new(),
@@ -303,9 +369,9 @@ impl Runtime {
             group,
             payload,
         });
-        self.multicast_at.push(self.now);
+        Arc::make_mut(&mut self.multicast_at).push(self.now);
         self.unit_of.push(NO_UNIT);
-        self.lists[group.index()].push(id);
+        Arc::make_mut(&mut self.lists)[group.index()].push(id);
         for &q in &t.member_list[group.index()] {
             self.owed[q.index()] += 1;
         }
@@ -640,12 +706,10 @@ impl Runtime {
                 let gm = t.gm(g, p);
                 // line 19: k = max{i : ∃(m,-,i) ∈ LOG_g}
                 let deg = self.units.deg(u);
-                let base = self.units.adj(u, 0);
-                let k = self.units.ann_max[base..base + deg]
-                    .iter()
-                    .copied()
-                    .max()
-                    .unwrap_or(0);
+                let mut k = 0u64;
+                for a in 0..deg {
+                    k = k.max(self.units.ann_max[self.units.adj(u, a)]);
+                }
                 debug_assert!(k > 0, "own position announcement present");
                 // line 20–21: 𝔣 = H(p, g); k ← CONS_{m,𝔣}.propose(k).
                 // First proposal wins; 0 encodes "undecided" (slots are ≥ 1).
@@ -881,6 +945,37 @@ impl Runtime {
         }
     }
 
+    /// Describes the current choice space over `set` for the explorer's
+    /// independence relation: one [`ActionDesc`] per enabled action, in
+    /// exactly the flat order of [`Runtime::options_into`] followed by
+    /// sub-choice index — processes ascending, and within a process the
+    /// deterministic `Action` order that [`Runtime::fire_enabled`] indexes.
+    pub fn describe_enabled(&self, set: ProcessSet, out: &mut Vec<ActionDesc>) {
+        out.clear();
+        for p in set {
+            if !self.alive(p) {
+                continue;
+            }
+            for a in self.enabled_sorted(p) {
+                let (kind, group, rep, aux) = match a {
+                    Action::Inject(g, m) => (ActionKind::Inject, g, m, 0),
+                    Action::Pending(m) => (ActionKind::Pending, self.arena.group(m), m, 0),
+                    Action::Commit(m) => (ActionKind::Commit, self.arena.group(m), m, 0),
+                    Action::Stabilize(m, h) => (ActionKind::Stabilize, self.arena.group(m), m, h.0),
+                    Action::Stable(m) => (ActionKind::Stable, self.arena.group(m), m, 0),
+                    Action::Deliver(m) => (ActionKind::Deliver, self.arena.group(m), m, 0),
+                };
+                out.push(ActionDesc {
+                    pid: p,
+                    kind,
+                    group,
+                    rep,
+                    aux,
+                });
+            }
+        }
+    }
+
     /// Fires the `choice`-th enabled action of `p` (in the deterministic
     /// `Action` order; out-of-range choices clamp to the last action, as
     /// in replay). Advances the clock by one tick first, so a process that
@@ -936,9 +1031,9 @@ impl Runtime {
             system: self.tables.system.clone(),
             pattern: self.tables.pattern.clone(),
             messages: self.arena.to_vec(),
-            multicast_at: self.multicast_at.clone(),
-            delivered: self.delivered.clone(),
-            actions_of: self.actions_of.clone(),
+            multicast_at: self.multicast_at.to_vec(),
+            delivered: self.delivered.iter().cloned().collect(),
+            actions_of: self.actions_of.iter().copied().collect(),
             quiescent,
         }
     }
@@ -1006,7 +1101,7 @@ impl Runtime {
         // Group submission lists (append-only; constant within a run but
         // part of the machine nonetheless).
         push(self.lists.len() as u64);
-        for list in &self.lists {
+        for list in self.lists.iter() {
             push(list.len() as u64);
             for m in list {
                 push(m.0);
@@ -1023,6 +1118,63 @@ impl Runtime {
         for n in &self.actions_of {
             push(*n);
         }
+    }
+
+    /// Analytic snapshot cost in **heap** bytes, as `(copied, deep)`: what
+    /// a `Clone` of this runtime actually copies beyond the inline struct
+    /// (chunk pointer tables, plain `Vec` heap) versus what a deep
+    /// per-element copy of the same logical state would have copied. The
+    /// fixed-size struct itself (clock, cursors, rng, the `CowVec`/`Arc`
+    /// headers) moves with *any* snapshot representation and is excluded
+    /// from both sides — the ratio measures the heap traffic the
+    /// copy-on-write layout saves, which is what a profiler sees. The
+    /// explorer sums these at every branch point; their ratio is the
+    /// snapshot-bytes headline of the DFS bench.
+    pub fn snapshot_cost_bytes(&self) -> (u64, u64) {
+        use std::mem::size_of;
+        // Plain `Vec` fields a clone deep-copies in either layout.
+        let base = (self.next_new.len() * size_of::<u32>()) as u64
+            + (self.scratch.len() * size_of::<Action>()) as u64;
+        let mut copied = base;
+        let mut deep = base;
+        // Chunked columns: a clone copies the pointer tables, a deep copy
+        // the elements.
+        copied += self.pairs.shallow_bytes()
+            + self.units.shallow_bytes()
+            + self.arena.shallow_bytes()
+            + self.unit_of.shallow_bytes()
+            + self.inject_cursor.shallow_bytes()
+            + self.active.shallow_bytes()
+            + self.delivered.shallow_bytes()
+            + self.actions_of.shallow_bytes()
+            + self.owed.shallow_bytes();
+        deep += self.pairs.deep_bytes()
+            + self.units.deep_bytes()
+            + self.arena.deep_bytes()
+            + self.unit_of.deep_bytes()
+            + self.inject_cursor.deep_bytes()
+            + self.active.deep_bytes()
+            + self.delivered.deep_bytes()
+            + self.actions_of.deep_bytes()
+            + self.owed.deep_bytes();
+        // Per-row heap payloads behind the chunked rows.
+        for ps in self.pairs.iter() {
+            deep += (ps.order.len() * size_of::<OrderEntry>() + ps.cursors.len() * size_of::<u32>())
+                as u64;
+        }
+        for row in self.active.iter() {
+            deep += (row.len() * size_of::<u32>()) as u64;
+        }
+        for seq in self.delivered.iter() {
+            deep += (seq.len() * size_of::<Delivery>()) as u64;
+        }
+        // Arc-shared submission state: a clone bumps refcounts, a deep
+        // copy would copy the lists.
+        deep += (self.multicast_at.len() * size_of::<Time>()) as u64;
+        for list in self.lists.iter() {
+            deep += ((list.len() + 1) * size_of::<MessageId>()) as u64;
+        }
+        (copied, deep)
     }
 
     /// Convenience: run to quiescence (panicking if the budget is exhausted)

@@ -116,6 +116,16 @@ pub trait SnapshotExec: Executor {
     /// identical twin). Restoring a snapshot from a *different* scenario is
     /// not meaningful and yields an unspecified (but memory-safe) state.
     fn restore(&mut self, snap: &Self::Snapshot);
+
+    /// Analytic cost of taking a snapshot *right now*, in bytes, as
+    /// `(copied, deep)`: what [`SnapshotExec::snapshot`] actually copies
+    /// versus what a deep per-element copy of the same logical state would
+    /// have copied. The explorer sums both at every branch point; their
+    /// ratio is the copy-on-write saving the DFS bench gates on.
+    /// Substrates without cost accounting report `(0, 0)`.
+    fn snapshot_cost(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 impl<E: Executor + ?Sized> Executor for &mut E {

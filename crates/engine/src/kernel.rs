@@ -103,7 +103,10 @@ impl<A, H> SnapshotExec for KernelExecutor<A, H>
 where
     A: Automaton + Clone + Send,
     A::Msg: Send,
-    A::Event: Send,
+    // `Sync` rides along with `Send` here: the trace's sealed log chunks
+    // are `Arc`-shared between a snapshot and its executor, and an
+    // `Arc<Vec<E>>` only crosses threads when `E: Send + Sync`.
+    A::Event: Send + Sync,
     H: History<Value = A::Fd> + Clone + Send,
 {
     type Snapshot = KernelSnapshot<A, H>;

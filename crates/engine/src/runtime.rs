@@ -11,7 +11,7 @@
 use crate::digest::Digest;
 use crate::event::{Observer, TraceEvent};
 use crate::exec::{Executor, SnapshotExec};
-use gam_core::{RunReport, Runtime};
+use gam_core::{ActionDesc, RunReport, Runtime};
 use gam_kernel::schedule::ChoiceStep;
 use gam_kernel::{ProcessId, ProcessSet};
 
@@ -65,6 +65,13 @@ impl RuntimeExecutor {
         self.rt.report(quiescent)
     }
 
+    /// Describes the current choice space in flat digit order (see
+    /// [`Runtime::describe_enabled`]) — the explorer's independence
+    /// relation consumes these descriptors.
+    pub fn describe_enabled(&self, out: &mut Vec<ActionDesc>) {
+        self.rt.describe_enabled(self.set, out);
+    }
+
     fn publish(&mut self, ev: &TraceEvent) {
         for obs in &mut self.observers {
             obs.on_event(ev);
@@ -108,6 +115,10 @@ impl SnapshotExec for RuntimeExecutor {
         self.rt = snap.rt.clone();
         self.digest = snap.digest;
         self.crashed_seen = snap.crashed_seen;
+    }
+
+    fn snapshot_cost(&self) -> (u64, u64) {
+        self.rt.snapshot_cost_bytes()
     }
 }
 

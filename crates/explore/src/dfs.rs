@@ -34,19 +34,39 @@
 //! [`Repro`](crate::Repro)s included — on every fixture topology, for 1
 //! and N threads.
 //!
+//! ## Partial-order reduction
+//!
+//! On top of prefix sharing, [`explore_exhaustive_dfs_par`] can prune
+//! whole sibling subtrees with *sleep sets* over the independence relation
+//! of [`crate::independence`]: when sibling digits `i < j` fire commuting
+//! actions, every interleaving below `j` that starts with `i`'s action is
+//! a step-permutation of one below `i` with an identical report, so `j`'s
+//! subtree sleeps `i`'s action. Pruning is gated on crash-free scenarios
+//! ([`por_applicable`]) and never enabled for the leftmost path, so the
+//! first counterexample found — and its shrunk repro — is byte-identical
+//! with POR on or off. [`ExploreStats::por_pruned`] counts skipped digits.
+//!
 //! ## Accounting
 //!
 //! [`ExploreStats::steps_executed`] counts what this engine actually ran;
 //! [`ExploreStats::steps_avoided`] counts the prefix re-execution it
 //! skipped, measured so that `steps_executed + steps_avoided` equals the
 //! `steps_executed` of the odometer engine on the same tree with the same
-//! dedup decisions. `BENCH_explore_dfs.json` tracks the reduction.
+//! dedup decisions (under POR, the same *pruned* tree — cross-engine step
+//! identities are only asserted among non-POR configurations).
+//! [`ExploreStats::snapshot_bytes`] sums what each checkpoint actually
+//! copied (chunk pointer tables under copy-on-write state) against the
+//! [`ExploreStats::snapshot_deep_bytes`] a deep `Clone` would have copied.
+//! `BENCH_explore_dfs.json` tracks both reductions.
 
 use crate::explorer::ExploreStats;
+use crate::independence::{actions_commute, por_applicable};
 use crate::par::{exhaustive_pool, merge, ExploreConfig, ItemResult};
 use crate::Scenario;
 use gam_core::spec::check_all;
+use gam_core::ActionDesc;
 use gam_engine::{run_with_source_counted, Executor, RuntimeSnapshot, SnapshotExec, VisitedSet};
+use gam_groups::GroupSystem;
 use gam_kernel::schedule::{ChoiceStep, RecordInto, RotatingSource};
 use gam_kernel::{ProcessId, RunOutcome};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -66,6 +86,41 @@ struct Frame {
     next: usize,
     /// Length of the recorded schedule at the branch point.
     sched_len: usize,
+    /// Sleep-set bookkeeping, populated only under partial-order
+    /// reduction: the flat descriptors of the branch's options and the
+    /// sleep set that applied on arrival (both empty with POR off).
+    descs: Vec<ActionDesc>,
+    sleep: Vec<ActionDesc>,
+}
+
+/// How one descent from the current branch point ended.
+enum Descent {
+    /// The run terminated within the enumerated prefix.
+    Interior(RunOutcome),
+    /// `depth` digits were consumed; a fair tail completes the run.
+    Tail,
+    /// Every child of a reached branch was slept: the whole subtree
+    /// re-orders interleavings explored earlier. Nothing ran, nothing to
+    /// check.
+    Pruned,
+}
+
+/// The sleep set a child inherits after its parent steps `stepped`:
+/// entries of the parent's sleep set plus the parent's earlier siblings,
+/// kept iff they commute with `stepped` — the covered-elsewhere invariant
+/// survives exactly across commuting steps.
+fn child_sleep(
+    system: &GroupSystem,
+    sleep: &[ActionDesc],
+    earlier: &[ActionDesc],
+    stepped: &ActionDesc,
+) -> Vec<ActionDesc> {
+    sleep
+        .iter()
+        .chain(earlier.iter())
+        .filter(|z| actions_commute(system, z, stepped))
+        .copied()
+        .collect()
 }
 
 /// Replicates one iteration chunk of the engine driver loop
@@ -129,6 +184,14 @@ fn step_flat<E: Executor>(
 /// DFS walk of every enumerated path whose leading digits equal `pinned` —
 /// the snapshotting counterpart of [`crate::par`]'s `explore_item`, and a
 /// drop-in `run_item` for its worker pool.
+///
+/// With `por` set (and the scenario crash-free), sleep sets prune sibling
+/// digits whose action commutes with an earlier-explored sibling: the
+/// pruned subtree's interleavings are step-permutations of already-covered
+/// ones with identical reports, so skipping them can never hide a
+/// violation — and because a pruned leaf always has its covering
+/// equivalent *earlier* in DFS preorder, the first violation found (and
+/// hence the shrunk repro) is byte-identical with POR on or off.
 pub(crate) fn dfs_item(
     scenario: &Scenario,
     depth: usize,
@@ -136,35 +199,63 @@ pub(crate) fn dfs_item(
     reserved: &AtomicU64,
     max_runs: u64,
     mut visited: Option<&mut VisitedSet>,
+    por: bool,
 ) -> ItemResult {
+    let por = por && por_applicable(scenario);
+    let system = &scenario.system;
     let mut res = ItemResult::default();
+    // Reserve the item's first run *before* constructing the executor:
+    // building the runtime is itself O(state), and once the shared budget
+    // is drained every remaining pool item must return in O(1) — on a
+    // wide-state scenario (rand(64,8)) anything else dominates the bench.
+    if reserved.fetch_add(1, Ordering::Relaxed) >= max_runs {
+        res.capped = true;
+        return res;
+    }
     let mut exec = scenario.runtime_executor();
     let mut stack: Vec<Frame> = Vec::new();
     let mut prefix: Vec<ChoiceStep> = Vec::new();
     let mut options: Vec<(ProcessId, usize)> = Vec::new();
+    let mut descs: Vec<ActionDesc> = Vec::new();
+    let mut cur_sleep: Vec<ActionDesc> = Vec::new();
     let mut tail_sched: Vec<ChoiceStep> = Vec::new();
     let mut taken = 0u64;
     let mut started = false;
     loop {
         // Backtrack to the deepest branch with an unexplored sibling —
         // exactly the odometer's "bump the deepest consumed digit" rule.
+        // Slept siblings (their descriptor is in the frame's sleep set) are
+        // skipped without reserving a run: their subtrees re-order
+        // interleavings an earlier sibling already covered. With POR off
+        // every frame's `descs`/`sleep` are empty and nothing is skipped.
         if started {
             loop {
                 let Some(top) = stack.last_mut() else {
                     return res;
                 };
                 top.next += 1;
+                while top.next < top.total
+                    && top
+                        .descs
+                        .get(top.next)
+                        .is_some_and(|d| top.sleep.contains(d))
+                {
+                    res.por_pruned += 1;
+                    top.next += 1;
+                }
                 if top.next < top.total {
                     break;
                 }
                 stack.pop();
             }
-        }
-        // Reserve a run from the shared budget *before* executing anything
-        // of it, so the total across workers matches the sequential cap.
-        if reserved.fetch_add(1, Ordering::Relaxed) >= max_runs {
-            res.capped = true;
-            return res;
+            // Reserve this sibling's run from the shared budget *before*
+            // executing anything of it, so the total across all workers
+            // matches the sequential cap exactly. (The item's first run was
+            // reserved before the executor was built.)
+            if reserved.fetch_add(1, Ordering::Relaxed) >= max_runs {
+                res.capped = true;
+                return res;
+            }
         }
         let mut digits = 0;
         if started {
@@ -181,6 +272,13 @@ pub(crate) fn dfs_item(
             // options non-empty): re-enumerate and take the sibling digit.
             exec.enabled_actions(&mut options);
             let next = frame.next;
+            if por {
+                // All earlier siblings — explored or slept — are covered
+                // when this child's subtree runs, so any of them that
+                // commutes with the stepped action sleeps below it.
+                let stepped = frame.descs[next];
+                cur_sleep = child_sleep(system, &frame.sleep, &frame.descs[..next], &stepped);
+            }
             step_flat(
                 &mut exec,
                 &options,
@@ -192,11 +290,13 @@ pub(crate) fn dfs_item(
             // Frames sit strictly past the pinned region, so the restored
             // path has consumed every pinned digit plus one per frame.
             digits = pinned.len() + stack.len();
+        } else if por {
+            cur_sleep.clear();
         }
         started = true;
         // Descend to a leaf: either the run terminates (interior leaf) or
         // `depth` digits are consumed (tail leaf).
-        let interior = loop {
+        let leaf = loop {
             match advance(
                 &mut exec,
                 &mut taken,
@@ -204,11 +304,34 @@ pub(crate) fn dfs_item(
                 &mut options,
                 &mut res.steps_executed,
             ) {
-                Some(out) => break Some(out),
-                None if digits == depth => break None,
+                Some(out) => break Descent::Interior(out),
+                None if digits == depth => break Descent::Tail,
                 None => {
+                    let total: usize = options.iter().map(|(_, arity)| arity).sum();
+                    if por {
+                        exec.describe_enabled(&mut descs);
+                        debug_assert_eq!(
+                            descs.len(),
+                            total,
+                            "flat descriptors align with flat digits"
+                        );
+                    }
                     if digits < pinned.len() {
-                        let flat = pinned[digits];
+                        let flat = pinned[digits].min(total - 1);
+                        if por {
+                            if cur_sleep.contains(&descs[flat]) {
+                                // The sequential sleep-set walk skips this
+                                // digit here, taking every run below it
+                                // with it — including this whole pinned
+                                // item. (The reserved run goes unused; with
+                                // POR on, run counts are not comparable to
+                                // the unpruned engines anyway.)
+                                res.por_pruned += 1;
+                                return res;
+                            }
+                            cur_sleep =
+                                child_sleep(system, &cur_sleep, &descs[..flat], &descs[flat]);
+                        }
                         step_flat(
                             &mut exec,
                             &options,
@@ -218,22 +341,42 @@ pub(crate) fn dfs_item(
                             &mut res.steps_executed,
                         );
                     } else {
-                        let total: usize = options.iter().map(|(_, arity)| arity).sum();
+                        // First unslept digit; with POR off this is 0.
+                        let mut first = 0usize;
+                        if por {
+                            while first < total && cur_sleep.contains(&descs[first]) {
+                                res.por_pruned += 1;
+                                first += 1;
+                            }
+                            if first == total {
+                                break Descent::Pruned;
+                            }
+                        }
                         let snap = (total > 1).then(|| {
                             res.snapshots += 1;
+                            let (copied, deep) = exec.snapshot_cost();
+                            res.snapshot_bytes += copied;
+                            res.snapshot_deep_bytes += deep;
+                            res.snapshot_bytes_peak = res.snapshot_bytes_peak.max(copied);
                             exec.snapshot()
                         });
                         stack.push(Frame {
                             snap,
                             taken,
                             total,
-                            next: 0,
+                            next: first,
                             sched_len: prefix.len(),
+                            descs: if por { descs.clone() } else { Vec::new() },
+                            sleep: if por { cur_sleep.clone() } else { Vec::new() },
                         });
+                        if por {
+                            cur_sleep =
+                                child_sleep(system, &cur_sleep, &descs[..first], &descs[first]);
+                        }
                         step_flat(
                             &mut exec,
                             &options,
-                            0,
+                            first,
                             &mut prefix,
                             &mut taken,
                             &mut res.steps_executed,
@@ -243,11 +386,14 @@ pub(crate) fn dfs_item(
                 }
             }
         };
+        if matches!(leaf, Descent::Pruned) {
+            continue;
+        }
         res.runs += 1;
         // What a restart-from-scratch odometer run of this leaf costs: the
         // whole prefix drive, whether or not we re-executed it.
         res.steps_odometer += taken;
-        if let Some(out) = interior {
+        if let Descent::Interior(out) = leaf {
             // The run terminated within the enumerated prefix itself.
             let report = exec.report(out == RunOutcome::Quiescent);
             if let Err(violation) = check_all(&report, scenario.variant) {
@@ -296,7 +442,7 @@ pub fn explore_exhaustive_dfs(
     shrink_budget: u64,
 ) -> ExploreStats {
     let reserved = AtomicU64::new(0);
-    let res = dfs_item(scenario, depth, &[], &reserved, max_runs, None);
+    let res = dfs_item(scenario, depth, &[], &reserved, max_runs, None, false);
     let runs = res.runs;
     merge(scenario, vec![(runs, 0, vec![(0, res)])], shrink_budget)
 }
@@ -305,13 +451,27 @@ pub fn explore_exhaustive_dfs(
 /// sharing: the tree is split at the top-level frontier into the same
 /// pinned-prefix work items, each walked by the snapshotting DFS, with the
 /// same deterministic lowest-item-index merge and per-worker dedup.
+///
+/// When [`ExploreConfig::por`] is set (and the scenario is crash-free —
+/// see [`por_applicable`]), sleep sets additionally prune sibling subtrees
+/// that merely permute commuting actions; the first counterexample and its
+/// shrunk repro stay byte-identical, POR on or off, 1 thread or N.
 pub fn explore_exhaustive_dfs_par(
     scenario: &Scenario,
     depth: usize,
     max_runs: u64,
     config: &ExploreConfig,
 ) -> ExploreStats {
-    exhaustive_pool(scenario, depth, max_runs, config, dfs_item)
+    let por = config.por;
+    exhaustive_pool(
+        scenario,
+        depth,
+        max_runs,
+        config,
+        move |scenario, depth, pinned, reserved, max_runs, visited| {
+            dfs_item(scenario, depth, pinned, reserved, max_runs, visited, por)
+        },
+    )
 }
 
 #[cfg(test)]

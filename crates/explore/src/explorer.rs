@@ -68,6 +68,19 @@ pub struct ExploreStats {
     /// [`ExploreStats::steps_executed`] — i.e. the shared-prefix re-execution
     /// the DFS engine skipped (0 for the odometer engines and the swarm).
     pub steps_avoided: u64,
+    /// Bytes the DFS engine's checkpoints actually copied, summed across
+    /// branch points — with copy-on-write state this is the chunk pointer
+    /// tables, not the elements (0 for the odometer engines and the swarm).
+    pub snapshot_bytes: u64,
+    /// Bytes deep per-element copies of the same checkpoints would have
+    /// copied — the Clone baseline the snapshot-bytes gate of
+    /// `BENCH_explore_dfs.json` divides by.
+    pub snapshot_deep_bytes: u64,
+    /// Largest single checkpoint, in copied bytes.
+    pub snapshot_bytes_peak: u64,
+    /// Subtrees skipped by sleep-set partial-order reduction (0 unless
+    /// [`ExploreConfig::por`](crate::ExploreConfig) is on).
+    pub por_pruned: u64,
 }
 
 impl ExploreStats {
@@ -116,6 +129,10 @@ impl ExploreStats {
             steps_executed,
             snapshots_taken: 0,
             steps_avoided: 0,
+            snapshot_bytes: 0,
+            snapshot_deep_bytes: 0,
+            snapshot_bytes_peak: 0,
+            por_pruned: 0,
         }
     }
 }

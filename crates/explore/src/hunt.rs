@@ -18,7 +18,9 @@
 //! the hunt surface those runs as first-class counterexamples.
 
 use crate::explorer::found;
-use crate::{explore_exhaustive, Outcome, Repro, Scenario, DEFAULT_SHRINK_BUDGET};
+use crate::{
+    explore_exhaustive_dfs_par, ExploreConfig, Outcome, Repro, Scenario, DEFAULT_SHRINK_BUDGET,
+};
 use gam_core::spec::{check_all, check_named, SpecViolation};
 use gam_core::Variant;
 use gam_engine::run_with_source_counted;
@@ -41,6 +43,11 @@ pub struct HuntConfig {
     /// Also check global `ordering` on runs that pass their own variant —
     /// the solvability-boundary mode (see module docs).
     pub ordering_boundary: bool,
+    /// Sleep-set partial-order reduction for the exhaustive phase
+    /// (on by default; automatically inert on descriptors with crashes).
+    /// The phase runs on the snapshotting DFS engine either way, so the
+    /// same run cap covers more distinct behaviors per descriptor.
+    pub por: bool,
 }
 
 impl Default for HuntConfig {
@@ -51,6 +58,7 @@ impl Default for HuntConfig {
             run_cap: 300,
             shrink_budget: DEFAULT_SHRINK_BUDGET,
             ordering_boundary: false,
+            por: true,
         }
     }
 }
@@ -195,8 +203,21 @@ pub fn hunt_one(descriptor: &ScnDescriptor, cfg: &HuntConfig) -> HuntOutcome {
     }
     // Phase 2: bounded exhaustive enumeration under the stock spec (the
     // boundary re-check is swarm-only; the enumerated space is checked by
-    // `check_all` inside the explorer).
-    let stats = explore_exhaustive(&scenario, cfg.depth, cfg.run_cap, cfg.shrink_budget);
+    // `check_all` inside the explorer). Runs on the snapshotting DFS
+    // engine at one thread — deterministic, prefix-shared, and (with
+    // `cfg.por`) sleep-set pruned, so the run cap buys more coverage.
+    if cfg.run_cap == 0 {
+        // Swarm-only hunt (e.g. boundary mode): skip even the frontier
+        // probe runs the pool would spend before hitting the zero cap.
+        return outcome;
+    }
+    let explore_cfg = ExploreConfig {
+        threads: 1,
+        shrink_budget: cfg.shrink_budget,
+        dedup_capacity: 0,
+        por: cfg.por,
+    };
+    let stats = explore_exhaustive_dfs_par(&scenario, cfg.depth, cfg.run_cap, &explore_cfg);
     outcome.exhaustive_runs = stats.runs;
     outcome.steps += stats.steps_executed;
     outcome.exhausted = stats.outcome == Outcome::Exhausted;

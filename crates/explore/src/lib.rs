@@ -38,6 +38,7 @@
 mod dfs;
 mod explorer;
 pub mod hunt;
+pub mod independence;
 pub mod kernel;
 mod par;
 mod repro;
@@ -50,6 +51,7 @@ pub use explorer::{
 pub use gam_engine::digest::{self, fnv1a, trace_hash};
 pub use gam_engine::PrefixTail;
 pub use hunt::{hunt, hunt_one, HuntConfig, HuntFinding, HuntOutcome, HuntReport};
+pub use independence::{actions_commute, por_applicable};
 pub use par::{explore_exhaustive_par, explore_swarm_par, ExploreConfig};
 pub use repro::Repro;
 pub use shrink::shrink;

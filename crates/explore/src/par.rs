@@ -75,6 +75,14 @@ pub struct ExploreConfig {
     /// [`explore_exhaustive_par`]; `0` disables pruning. The swarm has no
     /// prefix/tail split, so the setting does not affect it.
     pub dedup_capacity: usize,
+    /// Partial-order reduction in the snapshotting DFS engine
+    /// ([`crate::explore_exhaustive_dfs_par`]): sleep sets prune one of
+    /// each pair of commuting sibling orders (see [`crate::independence`]).
+    /// Verdicts and the canonical counterexample are unchanged; run counts
+    /// are no longer comparable to the odometer engines, hence off by
+    /// default. Silently inert when the scenario has crashes (the relation
+    /// is only sound crash-free) and for the odometer engines.
+    pub por: bool,
 }
 
 impl Default for ExploreConfig {
@@ -83,6 +91,7 @@ impl Default for ExploreConfig {
             threads: 0,
             shrink_budget: DEFAULT_SHRINK_BUDGET,
             dedup_capacity: 1 << 16,
+            por: false,
         }
     }
 }
@@ -167,6 +176,15 @@ pub(crate) struct ItemResult {
     pub(crate) steps_odometer: u64,
     /// Checkpoints captured (0 for the odometer engine).
     pub(crate) snapshots: u64,
+    /// Bytes those checkpoints actually copied (copy-on-write sharing).
+    pub(crate) snapshot_bytes: u64,
+    /// Bytes deep per-element copies of the same checkpoints would have
+    /// copied — the Clone baseline of the snapshot-bytes gate.
+    pub(crate) snapshot_deep_bytes: u64,
+    /// Largest single checkpoint, in copied bytes.
+    pub(crate) snapshot_bytes_peak: u64,
+    /// Subtrees skipped by sleep-set partial-order reduction.
+    pub(crate) por_pruned: u64,
 }
 
 /// Walks every enumerated path whose leading digits equal `prefix` —
@@ -409,6 +427,10 @@ pub(crate) fn merge(
     let mut steps_executed = 0u64;
     let mut snapshots_taken = 0u64;
     let mut steps_avoided = 0u64;
+    let mut snapshot_bytes = 0u64;
+    let mut snapshot_deep_bytes = 0u64;
+    let mut snapshot_bytes_peak = 0u64;
+    let mut por_pruned = 0u64;
     let mut capped = false;
     let mut best: Option<(usize, Vec<ChoiceStep>, SpecViolation, u64)> = None;
     for (wr, loose_steps, results) in per_worker {
@@ -420,7 +442,16 @@ pub(crate) fn merge(
             capped |= r.capped;
             steps_executed += r.steps_executed;
             snapshots_taken += r.snapshots;
-            steps_avoided += r.steps_odometer - r.steps_executed;
+            // Under POR a descent can end at a branch whose children are
+            // all slept: those steps ran but belong to no leaf, so the
+            // item's odometer-equivalent cost can fall below its executed
+            // cost. Saturate — the identity `executed + avoided =
+            // odometer` is only asserted for non-POR configurations.
+            steps_avoided += r.steps_odometer.saturating_sub(r.steps_executed);
+            snapshot_bytes += r.snapshot_bytes;
+            snapshot_deep_bytes += r.snapshot_deep_bytes;
+            snapshot_bytes_peak = snapshot_bytes_peak.max(r.snapshot_bytes_peak);
+            por_pruned += r.por_pruned;
             if let Some((schedule, violation, seed)) = r.violation {
                 if best.as_ref().is_none_or(|(bi, ..)| idx < *bi) {
                     best = Some((idx, schedule, violation, seed));
@@ -445,6 +476,10 @@ pub(crate) fn merge(
         steps_executed,
         snapshots_taken,
         steps_avoided,
+        snapshot_bytes,
+        snapshot_deep_bytes,
+        snapshot_bytes_peak,
+        por_pruned,
     }
 }
 
@@ -459,6 +494,7 @@ mod tests {
             threads,
             shrink_budget: DEFAULT_SHRINK_BUDGET,
             dedup_capacity,
+            por: false,
         }
     }
 

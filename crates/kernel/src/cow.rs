@@ -1,0 +1,268 @@
+//! Chunked copy-on-write vector storage — the substrate of O(delta)
+//! snapshots.
+//!
+//! A [`CowVec`] stores its elements in fixed-capacity chunks, each behind
+//! an [`Arc`]. `Clone` is *seal-and-share*: it bumps one refcount per chunk
+//! (O(len / chunk_capacity) pointer copies, no element copies), which is
+//! exactly what a snapshot needs. Mutation goes through
+//! [`Arc::make_mut`], which copies a chunk only when it is shared — so
+//! after a snapshot, continuing execution pays O(touched chunks), and with
+//! no snapshot alive (refcount 1 everywhere) the hot loop runs on the
+//! cheap uncontended path.
+//!
+//! The element-level API mirrors the subset of `Vec` the protocol arenas
+//! use: `push`/`pop`/`resize`, `Index`/`IndexMut`, in-order iteration.
+//! Logical contents are what they would be in a plain `Vec`; chunking is
+//! invisible to every reader, so digest walks over a `CowVec` are
+//! byte-identical to the flat-storage walks they replace.
+//!
+//! Cost accounting for the explorer's snapshot-bytes metric:
+//! [`CowVec::shallow_bytes`] is what a `Clone` actually copies (chunk
+//! pointers), [`CowVec::deep_bytes`] is what a deep element copy would
+//! have copied — the ratio is the explorer's headline saving.
+
+use std::ops::{Index, IndexMut};
+use std::sync::Arc;
+
+/// A chunked vector whose `Clone` shares (seals) chunk storage and whose
+/// writes copy-on-write only the touched chunk. See the module docs.
+#[derive(Debug, Clone)]
+pub struct CowVec<T> {
+    /// Every chunk except the last holds exactly `1 << shift` elements;
+    /// the last holds the remainder. The sum of chunk lengths is `len`.
+    chunks: Vec<Arc<Vec<T>>>,
+    len: usize,
+    /// Chunk capacity is the power of two `1 << shift`.
+    shift: u32,
+}
+
+impl<T> Default for CowVec<T> {
+    /// An empty `CowVec` with the default chunk capacity (32).
+    fn default() -> Self {
+        CowVec::new(32)
+    }
+}
+
+impl<T> CowVec<T> {
+    /// An empty `CowVec` whose chunks hold `chunk_capacity` elements
+    /// (rounded up to a power of two, minimum 2).
+    pub fn new(chunk_capacity: usize) -> Self {
+        let cap = chunk_capacity.next_power_of_two().max(2);
+        CowVec {
+            chunks: Vec::new(),
+            len: 0,
+            shift: cap.trailing_zeros(),
+        }
+    }
+
+    /// Number of logical elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The fixed chunk capacity.
+    fn cap(&self) -> usize {
+        1usize << self.shift
+    }
+
+    /// The element at `i`, or `None` past the end.
+    pub fn get(&self, i: usize) -> Option<&T> {
+        if i >= self.len {
+            return None;
+        }
+        Some(&self.chunks[i >> self.shift][i & (self.cap() - 1)])
+    }
+
+    /// The last element, or `None` when empty.
+    pub fn last(&self) -> Option<&T> {
+        if self.len == 0 {
+            None
+        } else {
+            self.get(self.len - 1)
+        }
+    }
+
+    /// In-order iteration over the logical contents.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        self.chunks.iter().flat_map(|c| c.iter())
+    }
+
+    /// *Heap* bytes a `Clone` of this value copies: the chunk pointer
+    /// table — never the elements, and not the inline struct header,
+    /// which the owner's own `size_of` already accounts for and which any
+    /// snapshot representation must hold either way.
+    pub fn shallow_bytes(&self) -> u64 {
+        (self.chunks.len() * std::mem::size_of::<Arc<Vec<T>>>()) as u64
+    }
+
+    /// Bytes a *deep* element copy would have copied (flat element
+    /// payload; callers add per-element heap internals where they exist).
+    pub fn deep_bytes(&self) -> u64 {
+        (self.len * std::mem::size_of::<T>()) as u64
+    }
+}
+
+impl<T: Clone> CowVec<T> {
+    /// Builds from `contents`, sealing full chunks as it goes.
+    pub fn from_vec(chunk_capacity: usize, contents: Vec<T>) -> Self {
+        let mut v = CowVec::new(chunk_capacity);
+        for item in contents {
+            v.push(item);
+        }
+        v
+    }
+
+    /// Appends an element, opening a fresh chunk when the last is full.
+    pub fn push(&mut self, value: T) {
+        if self.len == self.chunks.len() << self.shift {
+            self.chunks.push(Arc::new(Vec::with_capacity(self.cap())));
+        }
+        let last = self.chunks.last_mut().expect("chunk just ensured");
+        Arc::make_mut(last).push(value);
+        self.len += 1;
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let last = self.chunks.last_mut().expect("non-empty");
+        let value = Arc::make_mut(last).pop();
+        if last.is_empty() {
+            self.chunks.pop();
+        }
+        self.len -= 1;
+        value
+    }
+
+    /// Grows (with clones of `value`) or shrinks to `new_len` — the same
+    /// contract as `Vec::resize`.
+    pub fn resize(&mut self, new_len: usize, value: T) {
+        while self.len > new_len {
+            self.pop();
+        }
+        while self.len < new_len {
+            self.push(value.clone());
+        }
+    }
+
+    /// Appends every element of `iter` in order.
+    pub fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.push(item);
+        }
+    }
+}
+
+impl<T> Index<usize> for CowVec<T> {
+    type Output = T;
+    fn index(&self, i: usize) -> &T {
+        &self.chunks[i >> self.shift][i & (self.cap() - 1)]
+    }
+}
+
+impl<T: Clone> IndexMut<usize> for CowVec<T> {
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        let cap = self.cap();
+        &mut Arc::make_mut(&mut self.chunks[i >> self.shift])[i & (cap - 1)]
+    }
+}
+
+impl<'a, T> IntoIterator for &'a CowVec<T> {
+    type Item = &'a T;
+    type IntoIter = std::iter::FlatMap<
+        std::slice::Iter<'a, Arc<Vec<T>>>,
+        std::slice::Iter<'a, T>,
+        fn(&'a Arc<Vec<T>>) -> std::slice::Iter<'a, T>,
+    >;
+    fn into_iter(self) -> Self::IntoIter {
+        self.chunks.iter().flat_map(|c| c.iter())
+    }
+}
+
+impl<T: PartialEq> PartialEq for CowVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<T: Eq> Eq for CowVec<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_index_iter_match_vec_semantics() {
+        let mut c = CowVec::new(4);
+        let mut v = Vec::new();
+        for i in 0..37u64 {
+            c.push(i * 3);
+            v.push(i * 3);
+        }
+        assert_eq!(c.len(), v.len());
+        for i in 0..v.len() {
+            assert_eq!(c[i], v[i]);
+            assert_eq!(c.get(i), Some(&v[i]));
+        }
+        assert_eq!(c.get(v.len()), None);
+        assert_eq!(c.iter().copied().collect::<Vec<_>>(), v);
+        assert_eq!(c.last(), v.last());
+    }
+
+    #[test]
+    fn clone_shares_and_writes_copy_only_the_touched_chunk() {
+        let mut c = CowVec::from_vec(4, (0..16u64).collect());
+        let snap = c.clone();
+        // Writing through the clone leaves the original untouched…
+        c[5] = 999;
+        c.push(16);
+        assert_eq!(snap[5], 5);
+        assert_eq!(snap.len(), 16);
+        assert_eq!(c[5], 999);
+        assert_eq!(c.len(), 17);
+        // …and restoring (= cloning the snapshot back) rewinds exactly.
+        c = snap.clone();
+        assert_eq!(c.len(), 16);
+        assert_eq!(c[5], 5);
+    }
+
+    #[test]
+    fn resize_grows_and_shrinks_across_chunk_boundaries() {
+        let mut c = CowVec::new(4);
+        c.resize(11, 7u32);
+        assert_eq!(c.len(), 11);
+        assert!(c.iter().all(|&x| x == 7));
+        c.resize(3, 0);
+        assert_eq!(c.len(), 3);
+        c.resize(9, 1);
+        assert_eq!(
+            c.iter().copied().collect::<Vec<_>>(),
+            vec![7, 7, 7, 1, 1, 1, 1, 1, 1]
+        );
+    }
+
+    #[test]
+    fn pop_returns_in_reverse_push_order() {
+        let mut c = CowVec::from_vec(2, vec![1, 2, 3]);
+        assert_eq!(c.pop(), Some(3));
+        assert_eq!(c.pop(), Some(2));
+        assert_eq!(c.pop(), Some(1));
+        assert_eq!(c.pop(), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn shallow_bytes_stay_flat_as_contents_grow() {
+        let mut c: CowVec<u64> = CowVec::new(32);
+        c.resize(4096, 0);
+        // 4096 u64s deep vs ~128 chunk pointers shallow.
+        assert!(c.deep_bytes() >= 10 * c.shallow_bytes());
+    }
+}

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod automaton;
+pub mod cow;
 mod failure;
 mod message;
 mod process;
@@ -52,6 +53,7 @@ mod time;
 mod trace;
 
 pub use automaton::{Automaton, History, NoDetector, StepCtx};
+pub use cow::CowVec;
 pub use failure::{Environment, FailurePattern};
 pub use message::{Envelope, MessageBuffer, MsgId};
 pub use process::{Iter as ProcessSetIter, ProcessId, ProcessSet, MAX_PROCESSES};

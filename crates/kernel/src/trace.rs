@@ -6,9 +6,15 @@
 //! step and message counters that the *minimality* (genuineness) property
 //! quantifies over.
 
+use crate::cow::CowVec;
 use crate::message::MsgId;
 use crate::process::{ProcessId, ProcessSet};
 use crate::time::Time;
+
+/// Chunk capacity of the sealed step/event logs: big enough that the
+/// pointer table stays tiny, small enough that a post-snapshot append
+/// copies little.
+const LOG_CHUNK: usize = 64;
 
 /// One recorded step of the schedule `S`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,10 +39,15 @@ pub struct TraceEvent<E> {
 }
 
 /// The full record of a run: schedule, events and counters.
+///
+/// The step and event logs are append-only, so they live in sealed
+/// [`CowVec`] chunks: cloning a `Trace` (as the DFS explorer's kernel
+/// snapshots do) shares every sealed chunk and copies only the chunk
+/// pointer table — O(len / chunk) instead of O(len).
 #[derive(Debug, Clone)]
 pub struct Trace<E> {
-    steps: Vec<StepRecord>,
-    events: Vec<TraceEvent<E>>,
+    steps: CowVec<StepRecord>,
+    events: CowVec<TraceEvent<E>>,
     steps_per_process: Vec<u64>,
     sends_per_process: Vec<u64>,
     receives_per_process: Vec<u64>,
@@ -50,8 +61,8 @@ impl<E> Trace<E> {
     /// retained (the counters still are), which keeps long runs cheap.
     pub fn new(n: usize, record_schedule: bool) -> Self {
         Trace {
-            steps: Vec::new(),
-            events: Vec::new(),
+            steps: CowVec::new(LOG_CHUNK),
+            events: CowVec::new(LOG_CHUNK),
             steps_per_process: vec![0; n],
             sends_per_process: vec![0; n],
             receives_per_process: vec![0; n],
@@ -77,17 +88,20 @@ impl<E> Trace<E> {
         self.sends_per_process[pid.index()] += 1;
     }
 
-    pub(crate) fn record_event(&mut self, time: Time, pid: ProcessId, event: E) {
+    pub(crate) fn record_event(&mut self, time: Time, pid: ProcessId, event: E)
+    where
+        E: Clone,
+    {
         self.events.push(TraceEvent { time, pid, event });
     }
 
     /// The recorded schedule (empty unless schedule recording was enabled).
-    pub fn steps(&self) -> &[StepRecord] {
+    pub fn steps(&self) -> &CowVec<StepRecord> {
         &self.steps
     }
 
     /// All events emitted during the run, in emission order.
-    pub fn events(&self) -> &[TraceEvent<E>] {
+    pub fn events(&self) -> &CowVec<TraceEvent<E>> {
         &self.events
     }
 

@@ -1,0 +1,6 @@
+// golden: the same oracle in pure set arithmetic — commutation is decided
+// by exact group-membership tests, never by a scaled score; zero
+// diagnostics.
+pub fn actions_commute(a_groups: u64, b_groups: u64, a_pid: u32, b_pid: u32) -> bool {
+    a_pid != b_pid && a_groups & b_groups == 0
+}

@@ -1,0 +1,7 @@
+// golden: a reasoned allow silences the float scoring helper — it never
+// reaches a commutation verdict; zero diagnostics, one honoured
+// suppression.
+pub fn prune_rate(pruned: u64, runs: u64) -> u64 {
+    // gam-lint: allow(P002, reason = "diagnostic-only rate; every commutation verdict is integer arithmetic")
+    (pruned as f64 / runs.max(1) as f64 * 1000.0) as u64
+}

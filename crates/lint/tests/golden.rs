@@ -235,6 +235,46 @@ fn p002_covers_the_interned_arena_module() {
 }
 
 #[test]
+fn p002_covers_the_independence_module() {
+    // The POR independence relation decides which sibling subtrees the
+    // explorer *never runs*, so it must be as platform-exact as a digest:
+    // `crates/explore/src/independence.rs` sits in the [digest] scope. A
+    // float-scored commutation oracle fires, the exact set-arithmetic one
+    // scans clean, a reasoned allow on a diagnostic-only rate is honoured,
+    // and the same code out of scope is none of P002's business.
+    let cfg = Config {
+        deterministic: vec!["crates/explore".into()],
+        digest: vec!["crates/explore/src/independence.rs".into()],
+        ..Config::default()
+    };
+    const INDEP: &str = "crates/explore/src/independence.rs";
+    let fired = scan_fixture("p002_independence_fires.rs", INDEP, &cfg);
+    assert_eq!(
+        findings(&fired),
+        vec![("P002", 6), ("P002", 6), ("P002", 7)],
+        "{}",
+        fired.to_text()
+    );
+    assert!(fired.failed(false), "P002 is an error in scope");
+    let clean = scan_fixture("p002_independence_clean.rs", INDEP, &cfg);
+    assert_eq!(findings(&clean), vec![], "{}", clean.to_text());
+    let suppressed = scan_fixture("p002_independence_suppressed.rs", INDEP, &cfg);
+    assert_eq!(findings(&suppressed), vec![], "{}", suppressed.to_text());
+    assert_eq!(
+        suppressed.suppressions.len(),
+        1,
+        "the allow must be honoured"
+    );
+    let out_of_scope = scan_fixture("p002_independence_fires.rs", ELSEWHERE, &cfg);
+    assert_eq!(
+        findings(&out_of_scope),
+        vec![],
+        "{}",
+        out_of_scope.to_text()
+    );
+}
+
+#[test]
 fn reasonless_suppression_is_a_diagnostic_and_suppresses_nothing() {
     let cfg = config();
     let r = scan_fixture("s001_reasonless.rs", DET, &cfg);

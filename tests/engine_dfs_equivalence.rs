@@ -21,6 +21,7 @@ fn config(threads: usize, dedup_capacity: usize) -> ExploreConfig {
         threads,
         shrink_budget: DEFAULT_SHRINK_BUDGET,
         dedup_capacity,
+        por: false,
     }
 }
 
@@ -148,6 +149,70 @@ fn violating_workload_yields_byte_identical_shrunk_counterexample() {
                 "{threads} threads, dedup {dedup_capacity}: trace digest diverged"
             );
             assert_eq!(cx.violation.property, reference.violation.property);
+        }
+    }
+}
+
+#[test]
+fn batched_trees_explore_identically_across_engines_and_threads() {
+    // Level-A consensus batching widens the choice space (a batch width is
+    // itself a scheduling choice): the engines must still walk the *same*
+    // wider tree, close the step accounting, and agree across thread
+    // counts.
+    for (name, scenario, depth) in fixture_scenarios() {
+        let scenario = scenario.with_batch_max(16);
+        let seq = explore_exhaustive(&scenario, depth, 100_000, DEFAULT_SHRINK_BUDGET);
+        assert!(seq.clean(), "{name}: odometer found {:?}", seq.violations);
+        let dfs = explore_exhaustive_dfs(&scenario, depth, 100_000, DEFAULT_SHRINK_BUDGET);
+        assert!(dfs.clean(), "{name}: DFS found {:?}", dfs.violations);
+        assert_eq!(dfs.runs, seq.runs, "{name}: batched coverage diverged");
+        assert_eq!(dfs.outcome, seq.outcome, "{name}");
+        assert_eq!(
+            dfs.steps_executed + dfs.steps_avoided,
+            seq.steps_executed,
+            "{name}: batched step accounting must close"
+        );
+        for threads in [1, 2, 4] {
+            let par = explore_exhaustive_dfs_par(&scenario, depth, 100_000, &config(threads, 0));
+            assert!(par.clean(), "{name}/{threads}t");
+            assert_eq!(par.runs, seq.runs, "{name}/{threads}t");
+            assert_eq!(par.outcome, seq.outcome, "{name}/{threads}t");
+        }
+    }
+}
+
+#[test]
+fn batched_violating_workload_shrinks_byte_identically() {
+    let scenario = starved_scenario().with_batch_max(16);
+    let seq = explore_exhaustive(&scenario, 3, 10_000, DEFAULT_SHRINK_BUDGET);
+    assert_eq!(seq.outcome, Outcome::ViolationFound);
+    let reference = &seq.violations[0];
+    assert_eq!(reference.violation.property, "termination");
+
+    let dfs = explore_exhaustive_dfs(&scenario, 3, 10_000, DEFAULT_SHRINK_BUDGET);
+    assert_eq!(dfs.outcome, Outcome::ViolationFound);
+    assert_eq!(
+        dfs.violations[0].repro.to_text(),
+        reference.repro.to_text(),
+        "batched sequential DFS repro diverged"
+    );
+
+    for threads in [1, 2, 4] {
+        for dedup_capacity in [0, 1 << 12] {
+            let par =
+                explore_exhaustive_dfs_par(&scenario, 3, 10_000, &config(threads, dedup_capacity));
+            assert_eq!(par.outcome, Outcome::ViolationFound, "{threads} threads");
+            let cx = &par.violations[0];
+            assert_eq!(
+                cx.repro.to_text(),
+                reference.repro.to_text(),
+                "{threads} threads, dedup {dedup_capacity}: batched repro text diverged"
+            );
+            assert_eq!(
+                cx.repro.trace_hash(),
+                reference.repro.trace_hash(),
+                "{threads} threads, dedup {dedup_capacity}: batched trace digest diverged"
+            );
         }
     }
 }

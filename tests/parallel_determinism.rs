@@ -23,6 +23,7 @@ fn config(threads: usize, dedup_capacity: usize) -> ExploreConfig {
         threads,
         shrink_budget: DEFAULT_SHRINK_BUDGET,
         dedup_capacity,
+        por: false,
     }
 }
 

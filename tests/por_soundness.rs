@@ -1,0 +1,126 @@
+//! Sleep-set partial-order reduction never changes what exploration
+//! *finds* — only what it *costs*.
+//!
+//! POR prunes sibling subtrees that merely permute commuting actions
+//! (`gam_explore::independence`). Soundness here is observable: on every
+//! corpus fixture and on a violating workload, exploration with sleep
+//! sets finds a violation **iff** exploration without them does, the
+//! shrunk `.repro` is byte-identical (text and trace digest), and this
+//! holds at 1 and N threads. On crash-bearing fixtures POR must be
+//! exactly inert (`por_applicable` gates it off).
+
+use genuine_multicast::explore::{
+    explore_exhaustive_dfs_par, por_applicable, Outcome, Scenario, DEFAULT_SHRINK_BUDGET,
+};
+use genuine_multicast::prelude::*;
+use genuine_multicast::scenarios::corpus;
+
+fn config(threads: usize, por: bool) -> ExploreConfig {
+    ExploreConfig {
+        threads,
+        shrink_budget: DEFAULT_SHRINK_BUDGET,
+        dedup_capacity: 0,
+        por,
+    }
+}
+
+/// Uncapped exploration: complete coverage of the bounded tree on both
+/// sides, so "finds a violation iff" is meaningful (a cap could starve
+/// one side of the leaf the other reaches).
+const UNCAPPED: u64 = u64::MAX;
+
+#[test]
+fn por_finds_a_violation_iff_plain_dfs_does_on_the_corpus() {
+    let mut pruned_somewhere = 0u64;
+    for (name, template) in corpus() {
+        let scenario = Scenario::from_descriptor(&template.with_seed(7));
+        let depth = 3;
+        let plain = explore_exhaustive_dfs_par(&scenario, depth, UNCAPPED, &config(1, false));
+        let por = explore_exhaustive_dfs_par(&scenario, depth, UNCAPPED, &config(1, true));
+        assert_eq!(
+            plain.violations.is_empty(),
+            por.violations.is_empty(),
+            "{name}: POR changed the verdict"
+        );
+        assert_eq!(plain.outcome, por.outcome, "{name}");
+        if let (Some(reference), Some(reduced)) = (plain.violations.first(), por.violations.first())
+        {
+            assert_eq!(
+                reduced.repro.to_text(),
+                reference.repro.to_text(),
+                "{name}: POR shrunk repro diverged"
+            );
+            assert_eq!(reduced.repro.trace_hash(), reference.repro.trace_hash());
+        }
+        if por_applicable(&scenario) {
+            assert!(por.runs <= plain.runs, "{name}: POR cannot add leaves");
+            pruned_somewhere += por.por_pruned;
+        } else {
+            // Crash-bearing fixture: POR must be exactly inert.
+            assert_eq!(por.runs, plain.runs, "{name}: POR ran on a crashy fixture");
+            assert_eq!(por.por_pruned, 0, "{name}");
+            assert_eq!(por.steps_executed, plain.steps_executed, "{name}");
+        }
+    }
+    assert!(
+        pruned_somewhere > 0,
+        "sleep sets pruned nothing anywhere on the corpus — POR is wired off"
+    );
+}
+
+/// Every schedule of this scenario violates termination (the step budget
+/// is far below quiescence): the adversarial case for "pruning can never
+/// hide a counterexample".
+fn starved_scenario() -> Scenario {
+    Scenario::one_per_group(&topology::two_overlapping(3, 1), 12)
+}
+
+#[test]
+fn por_reports_the_same_counterexample_bytes_on_a_violating_workload() {
+    let scenario = starved_scenario();
+    assert!(por_applicable(&scenario));
+    let reference = explore_exhaustive_dfs_par(&scenario, 3, 10_000, &config(1, false));
+    assert_eq!(reference.outcome, Outcome::ViolationFound);
+    let reference = &reference.violations[0];
+    assert_eq!(reference.violation.property, "termination");
+
+    for threads in [1, 2, 4] {
+        let por = explore_exhaustive_dfs_par(&scenario, 3, 10_000, &config(threads, true));
+        assert_eq!(por.outcome, Outcome::ViolationFound, "{threads} threads");
+        let cx = &por.violations[0];
+        assert_eq!(
+            cx.repro.to_text(),
+            reference.repro.to_text(),
+            "{threads} threads: POR repro text diverged"
+        );
+        assert_eq!(
+            cx.repro.trace_hash(),
+            reference.repro.trace_hash(),
+            "{threads} threads: POR trace digest diverged"
+        );
+        assert_eq!(cx.violation.property, reference.violation.property);
+    }
+}
+
+#[test]
+fn por_strictly_prunes_a_branchy_crash_free_tree() {
+    // fig1 at depth 3 has many sibling pairs on disjoint groups: POR must
+    // actually pay for itself here, not just stay sound.
+    let scenario = Scenario::one_per_group(&topology::fig1(), 200_000);
+    let plain = explore_exhaustive_dfs_par(&scenario, 3, UNCAPPED, &config(1, false));
+    let por = explore_exhaustive_dfs_par(&scenario, 3, UNCAPPED, &config(1, true));
+    assert!(plain.clean() && por.clean());
+    assert!(por.por_pruned > 0, "no sibling subtree was slept");
+    assert!(
+        por.runs < plain.runs,
+        "POR explored as many leaves as plain DFS ({} vs {})",
+        por.runs,
+        plain.runs
+    );
+    assert!(
+        por.steps_executed < plain.steps_executed,
+        "POR saved no steps ({} vs {})",
+        por.steps_executed,
+        plain.steps_executed
+    );
+}

@@ -64,6 +64,7 @@ fn engines_and_thread_counts_agree_on_generated_scenarios() {
         threads,
         shrink_budget: DEFAULT_SHRINK_BUDGET,
         dedup_capacity: 0,
+        por: false,
     };
 
     let reference = explore_exhaustive(&scenario, 3, 10_000, DEFAULT_SHRINK_BUDGET);
