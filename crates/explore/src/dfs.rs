@@ -208,6 +208,7 @@ pub(crate) fn dfs_item(
     // building the runtime is itself O(state), and once the shared budget
     // is drained every remaining pool item must return in O(1) — on a
     // wide-state scenario (rand(64,8)) anything else dominates the bench.
+    // gam-lint: allow(A001, reason = "monotonic budget counter: fetch_add totals are exact under any ordering and nothing is published through it; capped overshoot is reconciled in the deterministic merge")
     if reserved.fetch_add(1, Ordering::Relaxed) >= max_runs {
         res.capped = true;
         return res;
@@ -252,6 +253,7 @@ pub(crate) fn dfs_item(
             // executing anything of it, so the total across all workers
             // matches the sequential cap exactly. (The item's first run was
             // reserved before the executor was built.)
+            // gam-lint: allow(A001, reason = "monotonic budget counter: same argument as the item's first reservation — exact totals under any ordering, merge-side reconciliation")
             if reserved.fetch_add(1, Ordering::Relaxed) >= max_runs {
                 res.capped = true;
                 return res;

@@ -1,0 +1,482 @@
+//! Phase 2 of the two-phase analyzer: the cross-crate capability graph.
+//!
+//! [`run_graph_lints`] aggregates the per-file symbol tables of
+//! [`crate::symbols`] into one node per crate — its capability grants from
+//! `gam-lint.toml`'s `[capabilities]` section, the capability sites its
+//! files actually contain, its cross-crate dependency edges — and enforces
+//! the capability contract over the whole graph:
+//!
+//! * **C001** — a capability site in a crate not granted that capability.
+//!   Alias-resolved: `use std::{time as wall}` and every `wall::…` use site
+//!   count, which the v1 token patterns provably missed.
+//! * **C002** — a capability laundered *through* a granted crate: either a
+//!   `pub use` re-export of a capability item that an ungranted crate
+//!   imports, or a thin public wrapper function (body ≤
+//!   [`THIN_WRAPPER_LINES`] lines) whose body exercises the capability and
+//!   which an ungranted crate calls. One hop only — a substantial function
+//!   is presumed to encapsulate the capability behind its own semantics
+//!   (that presumption is exactly what the grant on the defining crate
+//!   asserts), but a forwarding shim hands the caller the capability
+//!   itself.
+//! * **C003** — a granted capability with no site in the crate: grants must
+//!   shrink as code moves, or the config rots into a list of historical
+//!   permissions nobody can audit.
+//! * **F001** — every crate with files in the `[deterministic]` scope must
+//!   carry `#![forbid(unsafe_code)]` on its root file; a crate granted
+//!   `unsafe` is exempt from the forbid but owes a `// SAFETY:` comment on
+//!   every unsafe block.
+//!
+//! The C-lints (and F001's SAFETY arm) run only when a `[capabilities]`
+//! section is present, so fixture configs without one keep v1 semantics.
+//! The graph itself is always built and renders to deterministic JSON
+//! (`--graph`), the artifact CI pins.
+
+use crate::config::Config;
+use crate::lints::{emit, severity_of};
+use crate::pass::FileCtx;
+use crate::report::{Diagnostic, Severity};
+use crate::symbols::{classify_path, extern_names, Capability, FileSymbols};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Body length (in lines, inclusive of the signature) at or below which a
+/// public capability-using function is treated as a forwarding wrapper for
+/// C002. `pub fn now() -> Instant { Instant::now() }` launders the clock;
+/// a 200-line exploration engine encapsulates its atomics.
+pub const THIN_WRAPPER_LINES: u32 = 5;
+
+/// One crate-level node of the capability graph.
+#[derive(Debug)]
+pub struct CrateNode {
+    /// The crate key (`crates/engine`, `src`, `tests`).
+    pub key: String,
+    /// Number of scanned files in the crate.
+    pub files: usize,
+    /// Whether any file lies in the `[deterministic]` scope.
+    pub deterministic: bool,
+    /// Granted capability names, sorted.
+    pub grants: Vec<String>,
+    /// Capability name → number of use sites across the crate's files.
+    pub used: BTreeMap<&'static str, usize>,
+    /// Keys of crates this crate references (via `use` or path expression).
+    pub deps: BTreeSet<String>,
+}
+
+/// The whole-repo capability graph, rendered as the `--graph` artifact.
+#[derive(Debug, Default)]
+pub struct CapabilityGraph {
+    /// One node per crate, sorted by key.
+    pub crates: Vec<CrateNode>,
+    /// Total number of (crate, capability) grants in the config.
+    pub grant_count: usize,
+    /// Number of crates with at least one grant.
+    pub granted_crates: usize,
+}
+
+impl CapabilityGraph {
+    /// Deterministic JSON rendering: every collection is ordered, so two
+    /// scans of the same tree are byte-identical. Parses with
+    /// `gam_bench::json`, which the self-scan tests round-trip through.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"tool\": \"gam-lint-graph\",");
+        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"grant_count\": {},", self.grant_count);
+        let _ = writeln!(out, "  \"granted_crates\": {},", self.granted_crates);
+        out.push_str("  \"crates\": [\n");
+        for (i, c) in self.crates.iter().enumerate() {
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(out, "      \"key\": \"{}\",", c.key);
+            let _ = writeln!(out, "      \"files\": {},", c.files);
+            let _ = writeln!(out, "      \"deterministic\": {},", c.deterministic);
+            let grants: Vec<String> = c.grants.iter().map(|g| format!("\"{g}\"")).collect();
+            let _ = writeln!(out, "      \"grants\": [{}],", grants.join(", "));
+            out.push_str("      \"used\": {");
+            for (j, (cap, n)) in c.used.iter().enumerate() {
+                let sep = if j + 1 < c.used.len() { ", " } else { "" };
+                let _ = write!(out, "\"{cap}\": {n}{sep}");
+            }
+            out.push_str("},\n");
+            let deps: Vec<String> = c.deps.iter().map(|d| format!("\"{d}\"")).collect();
+            let _ = writeln!(out, "      \"deps\": [{}]", deps.join(", "));
+            let sep = if i + 1 < self.crates.len() { "," } else { "" };
+            let _ = writeln!(out, "    }}{sep}");
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// A capability item re-exported by `pub use`: export name → (capability,
+/// canonical path).
+type ExportTable = BTreeMap<(String, String), (Capability, String)>;
+
+/// Thin public wrapper functions tainted by capability use: (crate key, fn
+/// name) → capabilities the body exercises.
+type WrapperTable = BTreeMap<(String, String), BTreeSet<Capability>>;
+
+/// Runs the graph lints over every file's symbol table and returns the
+/// capability graph. Diagnostics are anchored in the file that owns the
+/// decision — the ungranted use site for C001, the importing/calling crate
+/// for C002 — so inline suppressions work at the place a reader would look.
+pub fn run_graph_lints(
+    ctxs: &mut [FileCtx],
+    syms: &[FileSymbols],
+    config: &Config,
+    out: &mut Vec<Diagnostic>,
+) -> CapabilityGraph {
+    // Crate aggregation: key → file indices, in path order (ctxs arrive
+    // unsorted; the walk is sorted but scan_sources accepts any order).
+    let mut by_crate: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, s) in syms.iter().enumerate() {
+        by_crate.entry(&s.crate_key).or_default().push(i);
+    }
+    for files in by_crate.values_mut() {
+        files.sort_by(|&a, &b| ctxs[a].path.cmp(&ctxs[b].path));
+    }
+    // Extern-name resolution: `gam_engine` (or a fixture's bare `engine`)
+    // back to `crates/engine`. Only crates actually in the scan resolve —
+    // `std` and vendored names fall through to capability classification.
+    let mut extern_map: BTreeMap<String, String> = BTreeMap::new();
+    for key in by_crate.keys() {
+        for name in extern_names(key) {
+            extern_map.insert(name, (*key).to_string());
+        }
+    }
+
+    let caps_on = config.capabilities_configured;
+    let (exports, wrappers) = if caps_on {
+        build_launder_tables(ctxs, syms, config, &by_crate)
+    } else {
+        (ExportTable::new(), WrapperTable::new())
+    };
+
+    let mut graph = CapabilityGraph {
+        grant_count: config.capabilities.values().map(Vec::len).sum(),
+        granted_crates: config.capabilities.len(),
+        ..CapabilityGraph::default()
+    };
+
+    for (key, files) in &by_crate {
+        let mut node = CrateNode {
+            key: (*key).to_string(),
+            files: files.len(),
+            deterministic: files
+                .iter()
+                .any(|&i| config.is_deterministic(&ctxs[i].path)),
+            grants: config.grants_of(key).to_vec(),
+            used: BTreeMap::new(),
+            deps: BTreeSet::new(),
+        };
+        let granted_unsafe = config.has_grant(key, Capability::Unsafe.name());
+
+        for &i in files {
+            for cap_use in &syms[i].cap_uses {
+                *node.used.entry(cap_use.cap.name()).or_insert(0) += 1;
+                // C001: an ungranted capability site. Unsafe sites in
+                // granted crates are F001's SAFETY business instead.
+                if caps_on && !config.has_grant(key, cap_use.cap.name()) {
+                    let line = cap_use.line;
+                    let what = cap_use.what.clone();
+                    let cap = cap_use.cap.name();
+                    emit(
+                        &mut ctxs[i],
+                        config,
+                        out,
+                        "C001",
+                        line,
+                        format!(
+                            "`{what}` needs the `{cap}` capability, which `{key}` is not \
+                             granted in [capabilities]"
+                        ),
+                        Some(format!(
+                            "remove the use, or grant `\"{key}\" = [… \"{cap}\"]` in \
+                             gam-lint.toml with a justification comment"
+                        )),
+                    );
+                }
+            }
+            // Dependency edges + C002 laundering checks.
+            collect_deps_and_launders(
+                ctxs,
+                syms,
+                config,
+                i,
+                key,
+                &extern_map,
+                &exports,
+                &wrappers,
+                caps_on,
+                &mut node,
+                out,
+            );
+            // F001 SAFETY pairing for crates granted unsafe.
+            if caps_on && granted_unsafe {
+                let sites: Vec<u32> = syms[i]
+                    .unsafe_sites
+                    .iter()
+                    .filter(|s| !s.has_safety)
+                    .map(|s| s.line)
+                    .collect();
+                for line in sites {
+                    emit(
+                        &mut ctxs[i],
+                        config,
+                        out,
+                        "F001",
+                        line,
+                        format!(
+                            "`unsafe` in `{key}` (granted the capability) without a \
+                             `// SAFETY:` comment on or above the block"
+                        ),
+                        Some("state the proof obligation the block discharges".into()),
+                    );
+                }
+            }
+        }
+
+        // F001: deterministic crates must forbid unsafe at the root. Only
+        // checked when the root file is in the scan set — single-file
+        // fixture trees have no root to inspect.
+        if node.deterministic && !granted_unsafe {
+            if let Some(&root) = root_file(ctxs, files, key) {
+                if !syms[root].has_forbid_unsafe {
+                    let path = ctxs[root].path.clone();
+                    emit(
+                        &mut ctxs[root],
+                        config,
+                        out,
+                        "F001",
+                        1,
+                        format!(
+                            "deterministic crate `{key}` does not carry \
+                             `#![forbid(unsafe_code)]` in {path}"
+                        ),
+                        Some("add the attribute, or grant `unsafe` with justification".into()),
+                    );
+                }
+            }
+        }
+
+        // C003: a grant with no site anywhere in the crate.
+        if caps_on {
+            let unused: Vec<String> = node
+                .grants
+                .iter()
+                .filter(|g| !node.used.contains_key(g.as_str()))
+                .cloned()
+                .collect();
+            for cap in unused {
+                let anchor = files[0];
+                emit(
+                    &mut ctxs[anchor],
+                    config,
+                    out,
+                    "C003",
+                    1,
+                    format!(
+                        "`{key}` is granted `{cap}` but no file in the crate uses it; \
+                         grants must shrink as code moves"
+                    ),
+                    Some(format!("drop `{cap}` from `\"{key}\"` in [capabilities]")),
+                );
+            }
+        }
+
+        graph.crates.push(node);
+    }
+
+    // Grants naming crates with no scanned files are dead configuration —
+    // surface them as C003 too, anchored on the config's own terms since
+    // there is no file to point at.
+    if caps_on {
+        for (key, grants) in &config.capabilities {
+            if by_crate.contains_key(key.as_str()) {
+                continue;
+            }
+            let sev = severity_of(config, "C003");
+            if sev == Severity::Allow {
+                continue;
+            }
+            for cap in grants {
+                out.push(Diagnostic {
+                    file: key.clone(),
+                    line: 0,
+                    id: "C003",
+                    severity: sev,
+                    message: format!(
+                        "[capabilities] grants `{cap}` to `{key}`, but the scan found no \
+                         files for that crate"
+                    ),
+                    suggestion: Some("remove the stale grant".into()),
+                });
+            }
+        }
+    }
+
+    graph
+}
+
+/// The root file of a crate among its scanned files: `src/lib.rs`, else
+/// `src/main.rs` (`src/lib.rs` directly for the umbrella key `src`).
+fn root_file<'a>(ctxs: &[FileCtx], files: &'a [usize], key: &str) -> Option<&'a usize> {
+    let candidates: [String; 2] = if key == "src" {
+        ["src/lib.rs".into(), "src/main.rs".into()]
+    } else {
+        [format!("{key}/src/lib.rs"), format!("{key}/src/main.rs")]
+    };
+    candidates
+        .iter()
+        .find_map(|c| files.iter().find(|&&i| ctxs[i].path == *c))
+}
+
+/// Builds the two laundering tables C002 consults: capability items
+/// re-exported by `pub use` from granted crates, and thin public wrapper
+/// functions whose bodies exercise a capability.
+fn build_launder_tables(
+    ctxs: &[FileCtx],
+    syms: &[FileSymbols],
+    config: &Config,
+    by_crate: &BTreeMap<&str, Vec<usize>>,
+) -> (ExportTable, WrapperTable) {
+    let mut exports = ExportTable::new();
+    let mut wrappers = WrapperTable::new();
+    for (key, files) in by_crate {
+        if config.grants_of(key).is_empty() {
+            // An ungranted crate cannot launder: its own C001 findings
+            // already cover every capability site it contains.
+            continue;
+        }
+        for &i in files {
+            for u in &syms[i].uses {
+                if !u.is_pub || u.alias == "*" || ctxs[i].in_test_code(u.line) {
+                    continue;
+                }
+                if let Some(cap) = classify_path(&u.path) {
+                    exports.insert(
+                        ((*key).to_string(), u.alias.clone()),
+                        (cap, u.path.join("::")),
+                    );
+                }
+            }
+            for f in &syms[i].fns {
+                if !f.is_pub || f.end_line - f.line > THIN_WRAPPER_LINES {
+                    continue;
+                }
+                let caps: BTreeSet<Capability> = syms[i]
+                    .cap_uses
+                    .iter()
+                    .filter(|c| c.line > f.line && c.line <= f.end_line)
+                    .map(|c| c.cap)
+                    .collect();
+                if !caps.is_empty() {
+                    wrappers
+                        .entry(((*key).to_string(), f.name.clone()))
+                        .or_default()
+                        .extend(caps);
+                }
+            }
+        }
+    }
+    (exports, wrappers)
+}
+
+/// Records file `i`'s cross-crate dependency edges on `node` and, when the
+/// capability lints are armed, emits C002 for every laundered capability it
+/// imports or calls one hop through a granted crate.
+#[allow(clippy::too_many_arguments)]
+fn collect_deps_and_launders(
+    ctxs: &mut [FileCtx],
+    syms: &[FileSymbols],
+    config: &Config,
+    i: usize,
+    key: &str,
+    extern_map: &BTreeMap<String, String>,
+    exports: &ExportTable,
+    wrappers: &WrapperTable,
+    caps_on: bool,
+    node: &mut CrateNode,
+    out: &mut Vec<Diagnostic>,
+) {
+    // (line, capability) pairs already reported, so a decl and a use of the
+    // same laundered item on one line yield one finding.
+    let mut reported: BTreeSet<(u32, Capability)> = BTreeSet::new();
+    let mut launders: Vec<(u32, Capability, String, String)> = Vec::new();
+    {
+        let s = &syms[i];
+        let mut check = |line: u32, target: &str, item: &str, called: bool| {
+            let Some(dep) = extern_map.get(target) else {
+                return;
+            };
+            if dep == key {
+                return;
+            }
+            node.deps.insert(dep.clone());
+            if !caps_on {
+                return;
+            }
+            if let Some((cap, origin)) = exports.get(&(dep.clone(), item.to_string())) {
+                if !config.has_grant(key, cap.name()) && reported.insert((line, *cap)) {
+                    launders.push((
+                        line,
+                        *cap,
+                        format!("`{dep}` re-exports `{origin}` as `{item}`"),
+                        dep.clone(),
+                    ));
+                }
+            }
+            if called {
+                if let Some(caps) = wrappers.get(&(dep.clone(), item.to_string())) {
+                    for cap in caps {
+                        if !config.has_grant(key, cap.name()) && reported.insert((line, *cap)) {
+                            launders.push((
+                                line,
+                                *cap,
+                                format!("`{dep}::{item}` is a thin wrapper over the capability"),
+                                dep.clone(),
+                            ));
+                        }
+                    }
+                }
+            }
+        };
+        for u in &s.uses {
+            if u.path.len() >= 2 && !ctxs[i].in_test_code(u.line) {
+                check(u.line, &u.path[0], &u.path[1], false);
+            } else if let Some(head) = u.path.first() {
+                // Single-segment import (`use gam_core;`, a glob of a whole
+                // crate): still a dependency edge. The empty item name can
+                // never match an export, so this records the edge only.
+                check(u.line, head, "", false);
+            }
+        }
+        for pu in &s.path_uses {
+            if pu.canonical.len() >= 2 {
+                check(pu.line, &pu.canonical[0], &pu.canonical[1], false);
+                let last = &pu.canonical[pu.canonical.len() - 1];
+                if pu.called {
+                    check(pu.line, &pu.canonical[0], last, true);
+                }
+            }
+        }
+    }
+    for (line, cap, how, dep) in launders {
+        emit(
+            &mut ctxs[i],
+            config,
+            out,
+            "C002",
+            line,
+            format!(
+                "`{key}` reaches the `{cap}` capability through `{dep}`: {how}; the grant \
+                 on `{dep}` does not extend one hop to its importers",
+                cap = cap.name()
+            ),
+            Some(format!(
+                "grant `{cap}` to `\"{key}\"` with justification, or stop exposing the \
+                 capability from `{dep}`",
+                cap = cap.name()
+            )),
+        );
+    }
+}

@@ -11,24 +11,32 @@
 //! suppressions that require a reason, a machine-readable JSON report and a
 //! `--deny-warnings` mode that CI gates on.
 //!
-//! The pipeline: [`tokenizer`] lexes each file, [`pass::FileCtx`] derives
-//! test-only line ranges and suppression comments, [`lints`] runs the
-//! per-file and cross-file passes, and [`report::Report`] aggregates the
-//! findings. [`config::Config`] (parsed from the checked-in
-//! `gam-lint.toml`) scopes each lint family to the paths where its
-//! invariant is load-bearing. See `LINTS.md` at the repository root for the
-//! catalogue.
+//! The pipeline is two-phase. Phase 1: [`tokenizer`] lexes each file,
+//! [`pass::FileCtx`] derives test-only line ranges and suppression
+//! comments, and [`symbols`] parses every file into its symbol table —
+//! `use` declarations with alias resolution, `pub use` re-exports, `fn`
+//! items with body ranges, capability use sites, `unsafe` sites. Phase 2:
+//! [`lints`] runs the per-file passes (alias-aware through the symbol
+//! table) and [`graph`] aggregates the tables into one node per crate and
+//! runs the cross-crate capability lints, yielding the [`graph`] artifact
+//! alongside the [`report::Report`]. [`config::Config`] (parsed from the
+//! checked-in `gam-lint.toml`) scopes each lint family to the paths where
+//! its invariant is load-bearing and grants capabilities per crate. See
+//! `LINTS.md` at the repository root for the catalogue.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod graph;
 pub mod lints;
 pub mod pass;
 pub mod report;
+pub mod symbols;
 pub mod tokenizer;
 
 use config::Config;
+use graph::CapabilityGraph;
 use pass::FileCtx;
 use report::{Report, Suppression};
 use std::fs;
@@ -39,22 +47,35 @@ use std::path::Path;
 /// analysis minus the filesystem walk — tests feed fixtures through it
 /// directly, and [`scan_repo`] feeds it the walked files.
 pub fn scan_sources(sources: Vec<(String, String)>, config: &Config) -> Report {
+    scan_sources_graph(sources, config).0
+}
+
+/// [`scan_sources`] plus the capability graph the scan derives.
+pub fn scan_sources_graph(
+    sources: Vec<(String, String)>,
+    config: &Config,
+) -> (Report, CapabilityGraph) {
     let mut ctxs: Vec<FileCtx> = sources
         .into_iter()
         .map(|(path, src)| FileCtx::new(path, &src))
         .collect();
     let mut diagnostics = Vec::new();
 
-    // Cross-file pass first (collection only), then per-file lints, then
-    // P001 finalization, then suppression hygiene — so every lint has had
-    // the chance to consume an allow before S002 declares it unused.
+    // Phase 1: the per-file symbol tables.
+    let syms: Vec<symbols::FileSymbols> = ctxs.iter().map(symbols::build).collect();
+
+    // Phase 2: cross-file collection first (P001), then per-file lints,
+    // then the graph lints, then P001 finalization, then suppression
+    // hygiene — so every lint has had the chance to consume an allow
+    // before S002 declares it unused.
     let mut p001 = lints::SendAssertPass::default();
     for (i, ctx) in ctxs.iter().enumerate() {
         p001.collect(i, ctx);
     }
-    for ctx in &mut ctxs {
-        lints::run_file_lints(ctx, config, &mut diagnostics);
+    for (i, ctx) in ctxs.iter_mut().enumerate() {
+        lints::run_file_lints(ctx, &syms[i], config, &mut diagnostics);
     }
+    let capability_graph = graph::run_graph_lints(&mut ctxs, &syms, config, &mut diagnostics);
     p001.finalize(&mut ctxs, config, &mut diagnostics);
     for ctx in &mut ctxs {
         lints::run_suppression_lints(ctx, config, &mut diagnostics);
@@ -75,11 +96,14 @@ pub fn scan_sources(sources: Vec<(String, String)>, config: &Config) -> Report {
     }
 
     diagnostics.sort_by(|a, b| (&a.file, a.line, a.id).cmp(&(&b.file, b.line, b.id)));
-    Report {
-        files_scanned: ctxs.len(),
-        diagnostics,
-        suppressions,
-    }
+    (
+        Report {
+            files_scanned: ctxs.len(),
+            diagnostics,
+            suppressions,
+        },
+        capability_graph,
+    )
 }
 
 /// Walks `config.roots` under `root`, reads every `.rs` file not excluded
@@ -90,6 +114,16 @@ pub fn scan_sources(sources: Vec<(String, String)>, config: &Config) -> Report {
 /// Propagates I/O errors from the walk; missing roots are skipped silently
 /// (a checkout without `src/` is fine).
 pub fn scan_repo(root: &Path, config: &Config) -> io::Result<Report> {
+    Ok(scan_repo_graph(root, config)?.0)
+}
+
+/// [`scan_repo`] plus the capability graph the scan derives — the CLI's
+/// `--graph` artifact comes from here.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the walk, as [`scan_repo`] does.
+pub fn scan_repo_graph(root: &Path, config: &Config) -> io::Result<(Report, CapabilityGraph)> {
     let mut files = Vec::new();
     for r in &config.roots {
         let dir = root.join(r);
@@ -102,7 +136,7 @@ pub fn scan_repo(root: &Path, config: &Config) -> io::Result<Report> {
         let src = fs::read_to_string(root.join(&rel))?;
         sources.push((rel, src));
     }
-    Ok(scan_sources(sources, config))
+    Ok(scan_sources_graph(sources, config))
 }
 
 /// Loads `gam-lint.toml` from `root`, or the default config when absent.

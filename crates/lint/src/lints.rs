@@ -2,9 +2,15 @@
 //!
 //! | id   | default | fires on                                              |
 //! |------|---------|-------------------------------------------------------|
+//! | A001 | error   | `Ordering::Relaxed` without a reasoned allow in concurrency scope |
+//! | A002 | error   | `Mutex`/`RwLock` in deterministic crates off the observer path |
+//! | C001 | error   | a capability used by a crate not granted it           |
+//! | C002 | error   | a capability laundered through a granted crate's re-export or thin wrapper |
+//! | C003 | warn    | a granted capability the crate never uses             |
 //! | D001 | error   | `HashMap`/`HashSet` in deterministic crates           |
 //! | D002 | error   | wall-clock / entropy sources in deterministic crates  |
 //! | D003 | warn    | `unwrap()`, `panic!`, undocumented `expect()` in protocol code |
+//! | F001 | error   | missing `#![forbid(unsafe_code)]` / `unsafe` without `// SAFETY:` |
 //! | P001 | error   | `Executor`/`SnapshotExec` impl without a `Send` assert |
 //! | P002 | error   | floating-point arithmetic in digest/fingerprint code  |
 //! | S001 | error   | `gam-lint: allow(...)` without a `reason`             |
@@ -12,13 +18,16 @@
 //!
 //! D-lints guard the model assumption every result in this repository rests
 //! on: executors are *deterministic functions of the schedule*, the same
-//! quantification the paper's proofs use. P-lints pin protocol-layer
+//! quantification the paper's proofs use. A/C/F-lints are the v2 capability
+//! system (see [`crate::graph`]): the contract under which a real-thread
+//! executor can coexist with that assumption. P-lints pin protocol-layer
 //! invariants the type system cannot express. S-lints keep the suppression
 //! mechanism honest. See `LINTS.md` for the full catalogue with examples.
 
 use crate::config::Config;
 use crate::pass::FileCtx;
 use crate::report::{Diagnostic, Severity};
+use crate::symbols::{Capability, FileSymbols};
 use crate::tokenizer::TokenKind;
 use std::collections::BTreeSet;
 
@@ -35,6 +44,31 @@ pub struct LintInfo {
 /// The catalogue, in report order.
 pub const LINTS: &[LintInfo] = &[
     LintInfo {
+        id: "A001",
+        default_severity: Severity::Error,
+        summary: "relaxed atomic ordering without a written merge-invariant argument",
+    },
+    LintInfo {
+        id: "A002",
+        default_severity: Severity::Error,
+        summary: "lock acquired in a deterministic crate outside the observer path",
+    },
+    LintInfo {
+        id: "C001",
+        default_severity: Severity::Error,
+        summary: "capability used by a crate not granted it",
+    },
+    LintInfo {
+        id: "C002",
+        default_severity: Severity::Error,
+        summary: "capability laundered through a granted crate's re-export or thin wrapper",
+    },
+    LintInfo {
+        id: "C003",
+        default_severity: Severity::Warn,
+        summary: "granted capability the crate never uses",
+    },
+    LintInfo {
         id: "D001",
         default_severity: Severity::Error,
         summary: "unordered collection in a deterministic crate",
@@ -48,6 +82,11 @@ pub const LINTS: &[LintInfo] = &[
         id: "D003",
         default_severity: Severity::Warn,
         summary: "panic path in protocol state-transition code",
+    },
+    LintInfo {
+        id: "F001",
+        default_severity: Severity::Error,
+        summary: "missing #![forbid(unsafe_code)] or unsafe block without a SAFETY comment",
     },
     LintInfo {
         id: "P001",
@@ -71,7 +110,7 @@ pub const LINTS: &[LintInfo] = &[
     },
 ];
 
-fn severity_of(config: &Config, id: &str) -> Severity {
+pub(crate) fn severity_of(config: &Config, id: &str) -> Severity {
     let default = LINTS
         .iter()
         .find(|l| l.id == id)
@@ -81,7 +120,7 @@ fn severity_of(config: &Config, id: &str) -> Severity {
 
 /// Emits `diag` unless a reasoned inline allow covers it or the configured
 /// severity is `allow`.
-fn emit(
+pub(crate) fn emit(
     ctx: &mut FileCtx,
     config: &Config,
     out: &mut Vec<Diagnostic>,
@@ -107,11 +146,23 @@ fn emit(
     });
 }
 
-/// Runs every per-file lint on `ctx`.
-pub fn run_file_lints(ctx: &mut FileCtx, config: &Config, out: &mut Vec<Diagnostic>) {
+/// Runs every per-file lint on `ctx`, with the file's phase-1 symbol table
+/// backing the alias-aware layers.
+pub fn run_file_lints(
+    ctx: &mut FileCtx,
+    syms: &FileSymbols,
+    config: &Config,
+    out: &mut Vec<Diagnostic>,
+) {
     if config.is_deterministic(&ctx.path) {
-        d001_unordered_collections(ctx, config, out);
-        d002_clock_and_entropy(ctx, config, out);
+        d001_unordered_collections(ctx, syms, config, out);
+        d002_clock_and_entropy(ctx, syms, config, out);
+        if !config.is_observer(&ctx.path) {
+            a002_locks(ctx, config, out);
+        }
+    }
+    if config.is_concurrency(&ctx.path) {
+        a001_relaxed_ordering(ctx, syms, config, out);
     }
     if config.is_protocol(&ctx.path) {
         d003_panic_paths(ctx, config, out);
@@ -165,20 +216,46 @@ pub fn run_suppression_lints(ctx: &mut FileCtx, config: &Config, out: &mut Vec<D
 /// the std hash tables depends on a per-process random seed, so any
 /// iteration (`iter`, `keys`, `values`, `into_iter`, `drain`, `for … in`)
 /// that reaches a digest, a fingerprint or a delivery decision breaks
-/// schedule-determinism across runs.
-fn d001_unordered_collections(ctx: &mut FileCtx, config: &Config, out: &mut Vec<Diagnostic>) {
+/// schedule-determinism across runs. The v1 token layer catches the names
+/// where they appear literally; the symbol-table layer adds use sites that
+/// only mention a rename (`use std::collections::HashMap as Map; Map::new()`).
+fn d001_unordered_collections(
+    ctx: &mut FileCtx,
+    syms: &FileSymbols,
+    config: &Config,
+    out: &mut Vec<Diagnostic>,
+) {
     let mut hits = Vec::new();
+    let mut seen = BTreeSet::new();
     for &i in &ctx.code {
         let t = &ctx.tokens[i];
         if t.kind == TokenKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
             if ctx.in_test_code(t.line) {
                 continue;
             }
+            seen.insert(t.line);
             hits.push((t.line, t.text.clone()));
         }
     }
+    // Alias layer: resolved paths that reach a hash table without spelling
+    // its name on the line (the literal-name scan above already covered
+    // every line the name appears on, declarations included).
+    for pu in &syms.path_uses {
+        if seen.contains(&pu.line) {
+            continue;
+        }
+        if let Some(name) = pu
+            .canonical
+            .iter()
+            .find(|s| *s == "HashMap" || *s == "HashSet")
+        {
+            seen.insert(pu.line);
+            hits.push((pu.line, format!("{} (as `{}`)", name, pu.head)));
+        }
+    }
+    hits.sort();
     for (line, name) in hits {
-        let ordered = if name == "HashMap" {
+        let ordered = if name.starts_with("HashMap") {
             "BTreeMap"
         } else {
             "BTreeSet"
@@ -204,7 +281,20 @@ fn d001_unordered_collections(ctx: &mut FileCtx, config: &Config, out: &mut Vec<
 /// D002 — wall-clock and entropy sources in deterministic crates. A
 /// `Instant::now()` or an OS-seeded RNG in a protocol path makes replays
 /// and cross-thread merges diverge even under identical schedules.
-fn d002_clock_and_entropy(ctx: &mut FileCtx, config: &Config, out: &mut Vec<Diagnostic>) {
+///
+/// Two layers, deduplicated by line. The v1 token layer catches the banned
+/// names where they appear literally plus the contiguous `std::time` path.
+/// The symbol-table layer closes the alias hole: `use std::{time as wall}`
+/// breaks the contiguous-path pattern and binds a module alias v1 could not
+/// see through, so both the declaration and every `wall::…` use site were
+/// invisible. It also widens the entropy net to `OsRng`/`getrandom`, which
+/// classify by path rather than by the v1 ident list.
+fn d002_clock_and_entropy(
+    ctx: &mut FileCtx,
+    syms: &FileSymbols,
+    config: &Config,
+    out: &mut Vec<Diagnostic>,
+) {
     const BANNED: &[(&str, &str)] = &[
         ("Instant", "use the logical clock (`gam_kernel::Time`)"),
         ("SystemTime", "use the logical clock (`gam_kernel::Time`)"),
@@ -213,13 +303,15 @@ fn d002_clock_and_entropy(ctx: &mut FileCtx, config: &Config, out: &mut Vec<Diag
         ("from_entropy", "seed a `StdRng` from the scenario config"),
     ];
     let mut hits = Vec::new();
+    let mut seen = BTreeSet::new();
     for ci in 0..ctx.code.len() {
         let t = ctx.code_token(ci);
         if t.kind != TokenKind::Ident || ctx.in_test_code(t.line) {
             continue;
         }
         if let Some((name, fix)) = BANNED.iter().find(|(b, _)| t.text == *b) {
-            hits.push((t.line, (*name).to_string(), *fix));
+            seen.insert(t.line);
+            hits.push((t.line, (*name).to_string(), (*fix).to_string()));
             continue;
         }
         // The `std::time` path itself (imports included).
@@ -229,9 +321,25 @@ fn d002_clock_and_entropy(ctx: &mut FileCtx, config: &Config, out: &mut Vec<Diag
             && ctx.code_token(ci + 2).is_punct(':')
             && ctx.code_token(ci + 3).is_ident("time")
         {
-            hits.push((t.line, "std::time".to_string(), "use the logical clock"));
+            seen.insert(t.line);
+            hits.push((
+                t.line,
+                "std::time".to_string(),
+                "use the logical clock".to_string(),
+            ));
         }
     }
+    for cap_use in &syms.cap_uses {
+        let fix = match cap_use.cap {
+            Capability::Time => "use the logical clock (`gam_kernel::Time`)",
+            Capability::Entropy => "seed a `StdRng` from the scenario config",
+            _ => continue,
+        };
+        if seen.insert(cap_use.line) {
+            hits.push((cap_use.line, cap_use.what.clone(), fix.to_string()));
+        }
+    }
+    hits.sort();
     for (line, name, fix) in hits {
         emit(
             ctx,
@@ -243,7 +351,98 @@ fn d002_clock_and_entropy(ctx: &mut FileCtx, config: &Config, out: &mut Vec<Diag
                 "`{name}` in a deterministic crate: wall-clock and entropy reads \
                  make runs differ under identical schedules"
             ),
-            Some(fix.to_string()),
+            Some(fix),
+        );
+    }
+}
+
+/// A001 — every `Ordering::Relaxed` in the concurrency-audit scope is a
+/// proof obligation: the site must carry a reasoned inline allow arguing
+/// why the deterministic merge tolerates the relaxed ordering (monotonic
+/// budget counters, lowest-wins skip hints whose correctness rests on the
+/// `thread::scope` join, …) or be strengthened to an acquiring/releasing
+/// ordering. The lint deliberately fires on *every* site — the allow with
+/// its written argument is the expected steady state, and S002 retires the
+/// argument when the site disappears.
+fn a001_relaxed_ordering(
+    ctx: &mut FileCtx,
+    syms: &FileSymbols,
+    config: &Config,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut lines = BTreeSet::new();
+    for ci in 3..ctx.code.len() {
+        let t = ctx.code_token(ci);
+        if t.is_ident("Relaxed")
+            && ctx.code_token(ci - 1).is_punct(':')
+            && ctx.code_token(ci - 2).is_punct(':')
+            && ctx.code_token(ci - 3).is_ident("Ordering")
+            && !ctx.in_test_code(t.line)
+        {
+            lines.insert(t.line);
+        }
+    }
+    // Alias layer: `use Ordering as O; O::Relaxed` resolves through the
+    // symbol table.
+    for pu in &syms.path_uses {
+        let n = pu.canonical.len();
+        if n >= 2 && pu.canonical[n - 1] == "Relaxed" && pu.canonical[n - 2] == "Ordering" {
+            lines.insert(pu.line);
+        }
+    }
+    for line in lines {
+        emit(
+            ctx,
+            config,
+            out,
+            "A001",
+            line,
+            "`Ordering::Relaxed` without a written merge-invariant argument: relaxed \
+             loads/stores are unordered, so the byte-identical-merge claim needs a reason \
+             this site cannot reorder into it"
+                .to_string(),
+            Some(
+                "add `// gam-lint: allow(A001, reason = …)` arguing why the invariant \
+                 tolerates relaxed ordering, or strengthen to Acquire/Release/AcqRel"
+                    .into(),
+            ),
+        );
+    }
+}
+
+/// A002 — `Mutex`/`RwLock` in deterministic crates outside the observer
+/// path. Lock acquisition order is scheduler-dependent, so any state shared
+/// under a lock inside the deterministic core is a covert schedule input;
+/// the one sanctioned use is the observer plumbing (`Arc<Mutex<O>>`
+/// subscriptions), which by construction feeds dashboards, not digests.
+fn a002_locks(ctx: &mut FileCtx, config: &Config, out: &mut Vec<Diagnostic>) {
+    let mut hits = Vec::new();
+    for &i in &ctx.code {
+        let t = &ctx.tokens[i];
+        if t.kind == TokenKind::Ident
+            && (t.text == "Mutex" || t.text == "RwLock")
+            && !ctx.in_test_code(t.line)
+        {
+            hits.push((t.line, t.text.clone()));
+        }
+    }
+    for (line, name) in hits {
+        emit(
+            ctx,
+            config,
+            out,
+            "A002",
+            line,
+            format!(
+                "`{name}` in a deterministic crate outside the observer path: lock \
+                 acquisition order is scheduler-dependent, making the guarded state a \
+                 covert schedule input"
+            ),
+            Some(
+                "move the shared state behind the kernel's deterministic queues, or \
+                 extend [concurrency] observer if this is observer plumbing"
+                    .into(),
+            ),
         );
     }
 }

@@ -1,0 +1,706 @@
+//! Phase 1 of the two-phase analyzer: per-file symbol tables.
+//!
+//! The v1 lints were independent token scans — sufficient while the
+//! invariant was "nobody touches `std::time`", but the road to a real
+//! `ThreadExecutor` (ROADMAP item 4) changes the question from *whether*
+//! any crate touches threads, clocks and atomics to *which* crates may,
+//! through *which* re-exports, with *what* justification. That is a graph
+//! property, and a graph needs symbols: this module parses every file into
+//! its `use` declarations (alias resolution included, so `use std::time as
+//! t; t::Instant::now()` is no longer invisible), its `pub use` re-exports,
+//! its `fn` items with body ranges (so a wrapper function can be tainted by
+//! the capabilities its body exercises), its `unsafe` sites, and the
+//! presence of `#![forbid(unsafe_code)]`. [`crate::graph`] aggregates the
+//! per-file tables into per-crate nodes and runs the capability lints over
+//! them.
+
+use crate::pass::FileCtx;
+use crate::tokenizer::TokenKind;
+use std::collections::BTreeMap;
+
+/// A named capability a crate can be granted in `gam-lint.toml`'s
+/// `[capabilities]` section. Everything a real-thread executor will need —
+/// and everything the determinism story must therefore account for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Capability {
+    /// OS randomness: `thread_rng`, `from_entropy`, `OsRng`, `getrandom`.
+    Entropy,
+    /// Filesystem, sockets, process control, environment reads
+    /// (`std::{fs, io, net, process, env}`).
+    Io,
+    /// `std::sync::atomic` — shared-memory orderings.
+    SyncAtomics,
+    /// `std::thread` — real OS threads.
+    Threads,
+    /// `std::time` — wall clocks (and everything else in the module: a
+    /// deterministic crate has no business near it, `Duration` included,
+    /// which is exactly D002's long-standing scope).
+    Time,
+    /// `unsafe` blocks and functions.
+    Unsafe,
+}
+
+impl Capability {
+    /// Every capability, in the order reports render them.
+    pub const ALL: &'static [Capability] = &[
+        Capability::Entropy,
+        Capability::Io,
+        Capability::SyncAtomics,
+        Capability::Threads,
+        Capability::Time,
+        Capability::Unsafe,
+    ];
+
+    /// The lowercase name used in `gam-lint.toml` and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Capability::Entropy => "entropy",
+            Capability::Io => "io",
+            Capability::SyncAtomics => "sync_atomics",
+            Capability::Threads => "threads",
+            Capability::Time => "time",
+            Capability::Unsafe => "unsafe",
+        }
+    }
+
+    /// Parses a capability name from the config.
+    pub fn parse(s: &str) -> Option<Capability> {
+        Capability::ALL.iter().copied().find(|c| c.name() == s)
+    }
+}
+
+/// Classifies a canonical (absolute, alias-resolved) path by the capability
+/// it exercises. `None` for paths that need no grant.
+pub fn classify_path(path: &[String]) -> Option<Capability> {
+    let seg = |i: usize| path.get(i).map(String::as_str);
+    match (seg(0), seg(1)) {
+        (Some("std"), Some("thread")) => return Some(Capability::Threads),
+        (Some("std" | "core"), Some("time")) => return Some(Capability::Time),
+        (Some("std" | "core"), Some("sync")) if seg(2) == Some("atomic") => {
+            return Some(Capability::SyncAtomics)
+        }
+        (Some("std"), Some("fs" | "io" | "net" | "process" | "env")) => {
+            return Some(Capability::Io)
+        }
+        (Some("getrandom"), _) => return Some(Capability::Entropy),
+        _ => {}
+    }
+    let entropic = |s: &str| matches!(s, "thread_rng" | "from_entropy" | "OsRng" | "from_os_rng");
+    if path.iter().any(|s| entropic(s)) {
+        return Some(Capability::Entropy);
+    }
+    None
+}
+
+/// The crate key of a repo-relative path: `crates/<name>` for workspace
+/// crates, else the first path segment (`src` for the umbrella crate,
+/// `tests` for the root integration tests). Grants in `gam-lint.toml` are
+/// keyed the same way.
+pub fn crate_key(path: &str) -> String {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        let name = rest.split('/').next().unwrap_or(rest);
+        format!("crates/{name}")
+    } else {
+        path.split('/').next().unwrap_or(path).to_string()
+    }
+}
+
+/// The identifiers under which a crate key can be imported from another
+/// crate (`crates/engine` is the package `gam-engine`, imported as
+/// `gam_engine`; fixture trees use the bare directory name).
+pub fn extern_names(key: &str) -> Vec<String> {
+    if let Some(name) = key.strip_prefix("crates/") {
+        let flat = name.replace('-', "_");
+        vec![flat.clone(), format!("gam_{flat}")]
+    } else if key == "src" {
+        vec!["genuine_multicast".to_string()]
+    } else {
+        Vec::new()
+    }
+}
+
+/// One leaf binding introduced by a `use` declaration.
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    /// 1-based line of the leaf name (diagnostics anchor here, so a
+    /// multi-line group import points at the offending member).
+    pub line: u32,
+    /// The full path as written, group prefixes expanded
+    /// (`use std::{time as t}` records `["std", "time"]`).
+    pub path: Vec<String>,
+    /// The name this declaration binds in the file (`"*"` for globs).
+    pub alias: String,
+    /// Whether the binding is re-exported (`pub use`, without a
+    /// `pub(restricted)` qualifier).
+    pub is_pub: bool,
+}
+
+/// One `fn` item with its body's line range.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Line of the body's closing brace (== `line` for bodyless items).
+    pub end_line: u32,
+    /// Bare `pub` (cross-crate visible; `pub(crate)` and friends are not).
+    pub is_pub: bool,
+}
+
+/// One resolved path expression in code (outside `use` declarations).
+#[derive(Debug, Clone)]
+pub struct PathUse {
+    /// 1-based line of the path head.
+    pub line: u32,
+    /// The first segment as written (an alias or an absolute root).
+    pub head: String,
+    /// The alias-resolved canonical path.
+    pub canonical: Vec<String>,
+    /// Whether the path is immediately called (`path(…)`).
+    pub called: bool,
+    /// Whether the head was an alias (false: written absolutely).
+    pub via_alias: bool,
+}
+
+/// One capability use site.
+#[derive(Debug, Clone)]
+pub struct CapUse {
+    /// 1-based source line.
+    pub line: u32,
+    /// The capability exercised.
+    pub cap: Capability,
+    /// The canonical path (or `unsafe`) for the diagnostic message.
+    pub what: String,
+}
+
+/// One `unsafe` block or function.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// 1-based line of the `unsafe` keyword.
+    pub line: u32,
+    /// Whether a `// SAFETY:` comment sits on the same or previous line.
+    pub has_safety: bool,
+}
+
+/// The symbol table of one file.
+#[derive(Debug)]
+pub struct FileSymbols {
+    /// The owning crate key (see [`crate_key`]).
+    pub crate_key: String,
+    /// Every leaf binding of every `use` declaration, in source order.
+    pub uses: Vec<UseDecl>,
+    /// Alias → canonical path, for resolving `t::Instant` through
+    /// `use std::time as t`.
+    pub aliases: BTreeMap<String, Vec<String>>,
+    /// Every `fn` item, in source order.
+    pub fns: Vec<FnItem>,
+    /// Every resolved path expression in non-test code.
+    pub path_uses: Vec<PathUse>,
+    /// Every capability use site (declarations and expressions) in
+    /// non-test code.
+    pub cap_uses: Vec<CapUse>,
+    /// Every `unsafe` site in non-test code.
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// Whether the file carries `#![forbid(unsafe_code)]`.
+    pub has_forbid_unsafe: bool,
+}
+
+/// Builds the symbol table for one tokenized file.
+pub fn build(ctx: &FileCtx) -> FileSymbols {
+    let mut syms = FileSymbols {
+        crate_key: crate_key(&ctx.path),
+        uses: Vec::new(),
+        aliases: BTreeMap::new(),
+        fns: Vec::new(),
+        path_uses: Vec::new(),
+        cap_uses: Vec::new(),
+        unsafe_sites: Vec::new(),
+        has_forbid_unsafe: find_forbid_unsafe(ctx),
+    };
+    let use_spans = parse_uses(ctx, &mut syms);
+    parse_fns(ctx, &mut syms);
+    scan_paths(ctx, &use_spans, &mut syms);
+    scan_unsafe(ctx, &mut syms);
+    // Declarations are capability uses too: importing `std::time` *is*
+    // reaching for the clock, and C001 should point at the import.
+    let mut decl_caps = Vec::new();
+    for u in &syms.uses {
+        if ctx.in_test_code(u.line) {
+            continue;
+        }
+        if let Some(cap) = classify_path(&u.path) {
+            decl_caps.push(CapUse {
+                line: u.line,
+                cap,
+                what: u.path.join("::"),
+            });
+        }
+    }
+    syms.cap_uses.extend(decl_caps);
+    syms.cap_uses.sort_by_key(|c| (c.line, c.cap));
+    // One site per (line, capability): a grouped import like
+    // `use std::sync::atomic::{AtomicU64, Ordering}` is one decision, not
+    // two, and inflated counts would distort the graph artifact.
+    syms.cap_uses
+        .dedup_by(|a, b| a.line == b.line && a.cap == b.cap);
+    syms
+}
+
+/// Whether the file carries the inner attribute `#![forbid(unsafe_code)]`.
+fn find_forbid_unsafe(ctx: &FileCtx) -> bool {
+    let n = ctx.code.len();
+    for ci in 0..n.saturating_sub(6) {
+        if ctx.code_token(ci).is_punct('#')
+            && ctx.code_token(ci + 1).is_punct('!')
+            && ctx.code_token(ci + 2).is_punct('[')
+            && ctx.code_token(ci + 3).is_ident("forbid")
+            && ctx.code_token(ci + 4).is_punct('(')
+            && ctx.code_token(ci + 5).is_ident("unsafe_code")
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether the code token directly before `ci` ends a `pub` qualifier that
+/// exports cross-crate: bare `pub`, not `pub(crate)`/`pub(super)` (for
+/// those, the token directly before is the closing `)`).
+fn preceded_by_bare_pub(ctx: &FileCtx, ci: usize) -> bool {
+    ci > 0 && ctx.code_token(ci - 1).is_ident("pub")
+}
+
+/// Parses every `use` declaration; returns the code-index spans they
+/// occupy so the expression scan can skip them.
+fn parse_uses(ctx: &FileCtx, syms: &mut FileSymbols) -> Vec<(usize, usize)> {
+    let n = ctx.code.len();
+    let mut spans = Vec::new();
+    let mut ci = 0usize;
+    while ci < n {
+        if !ctx.code_token(ci).is_ident("use") {
+            ci += 1;
+            continue;
+        }
+        // `use` as a path segment (`…::use`) cannot occur; but make sure
+        // this is a declaration head, not e.g. a macro body token. Heuristic:
+        // the previous code token must not be `::` or `.`.
+        if ci > 0 {
+            let prev = ctx.code_token(ci - 1);
+            if prev.is_punct(':') || prev.is_punct('.') {
+                ci += 1;
+                continue;
+            }
+        }
+        let is_pub = preceded_by_bare_pub(ctx, ci);
+        let start = ci;
+        let mut j = ci + 1;
+        let mut prefix: Vec<String> = Vec::new();
+        parse_use_tree(ctx, &mut j, &mut prefix, is_pub, syms);
+        // Consume through the terminating `;` if present.
+        while j < n && !ctx.code_token(j).is_punct(';') {
+            j += 1;
+        }
+        spans.push((start, j.min(n.saturating_sub(1))));
+        ci = j + 1;
+    }
+    spans
+}
+
+/// Recursive descent over one `use` tree rooted at code index `*j`,
+/// with the path segments accumulated so far in `prefix`.
+fn parse_use_tree(
+    ctx: &FileCtx,
+    j: &mut usize,
+    prefix: &mut Vec<String>,
+    is_pub: bool,
+    syms: &mut FileSymbols,
+) {
+    let n = ctx.code.len();
+    let depth_at_entry = prefix.len();
+    loop {
+        if *j >= n {
+            break;
+        }
+        let t = ctx.code_token(*j);
+        if t.is_punct('{') {
+            // Group: each comma-separated subtree shares the prefix.
+            *j += 1;
+            loop {
+                if *j >= n || ctx.code_token(*j).is_punct('}') {
+                    *j += 1;
+                    break;
+                }
+                parse_use_tree(ctx, j, prefix, is_pub, syms);
+                if *j < n && ctx.code_token(*j).is_punct(',') {
+                    *j += 1;
+                }
+            }
+            break;
+        }
+        if t.is_punct('*') {
+            record_use(syms, t.line, prefix.clone(), "*".to_string(), is_pub);
+            *j += 1;
+            break;
+        }
+        if t.kind != TokenKind::Ident {
+            break;
+        }
+        let seg = t.text.clone();
+        let line = t.line;
+        let continues = *j + 2 < n
+            && ctx.code_token(*j + 1).is_punct(':')
+            && ctx.code_token(*j + 2).is_punct(':');
+        if continues {
+            if seg != "self" {
+                prefix.push(seg);
+            }
+            *j += 3;
+            continue;
+        }
+        // Leaf segment, possibly renamed.
+        let mut alias = seg.clone();
+        let mut path = prefix.clone();
+        if seg == "self" {
+            alias = prefix.last().cloned().unwrap_or_else(|| seg.clone());
+        } else {
+            path.push(seg);
+        }
+        *j += 1;
+        if *j + 1 < n && ctx.code_token(*j).is_ident("as") {
+            if ctx.code_token(*j + 1).kind == TokenKind::Ident {
+                alias = ctx.code_token(*j + 1).text.clone();
+            }
+            *j += 2;
+        }
+        record_use(syms, line, path, alias, is_pub);
+        break;
+    }
+    prefix.truncate(depth_at_entry);
+}
+
+fn record_use(syms: &mut FileSymbols, line: u32, path: Vec<String>, alias: String, is_pub: bool) {
+    if path.is_empty() {
+        return;
+    }
+    if alias != "*" && alias != "_" {
+        syms.aliases.insert(alias.clone(), path.clone());
+    }
+    syms.uses.push(UseDecl {
+        line,
+        path,
+        alias,
+        is_pub,
+    });
+}
+
+/// Collects every `fn` item with its body's line range and visibility.
+fn parse_fns(ctx: &FileCtx, syms: &mut FileSymbols) {
+    let n = ctx.code.len();
+    let mut ci = 0usize;
+    while ci < n {
+        let t = ctx.code_token(ci);
+        if !t.is_ident("fn") || ci + 1 >= n || ctx.code_token(ci + 1).kind != TokenKind::Ident {
+            ci += 1;
+            continue;
+        }
+        let name = ctx.code_token(ci + 1).text.clone();
+        let line = t.line;
+        // Visibility: walk back over `const`/`async`/`unsafe`/`extern "C"`.
+        let mut back = ci;
+        while back > 0 {
+            let p = ctx.code_token(back - 1);
+            if p.is_ident("const")
+                || p.is_ident("async")
+                || p.is_ident("unsafe")
+                || p.is_ident("extern")
+                || p.kind == TokenKind::Str
+            {
+                back -= 1;
+            } else {
+                break;
+            }
+        }
+        let is_pub = preceded_by_bare_pub(ctx, back);
+        // Find the body `{` at angle depth 0, or `;` for bodyless items.
+        let mut j = ci + 2;
+        let mut angle = 0i32;
+        let mut end_line = line;
+        while j < n {
+            let a = ctx.code_token(j);
+            if a.is_punct('<') {
+                angle += 1;
+            } else if a.is_punct('>') && !(j > 0 && ctx.code_token(j - 1).is_punct('-')) {
+                angle = (angle - 1).max(0);
+            } else if angle == 0 && a.is_punct(';') {
+                end_line = a.line;
+                break;
+            } else if angle == 0 && a.is_punct('{') {
+                let mut braces = 1i32;
+                j += 1;
+                while j < n && braces > 0 {
+                    let b = ctx.code_token(j);
+                    if b.is_punct('{') {
+                        braces += 1;
+                    } else if b.is_punct('}') {
+                        braces -= 1;
+                    }
+                    end_line = b.line;
+                    j += 1;
+                }
+                break;
+            }
+            j += 1;
+        }
+        syms.fns.push(FnItem {
+            name,
+            line,
+            end_line,
+            is_pub,
+        });
+        ci += 2;
+    }
+}
+
+/// Scans non-test code (outside `use` declarations) for path expressions,
+/// resolves their heads through the alias map, and records capability use
+/// sites.
+fn scan_paths(ctx: &FileCtx, use_spans: &[(usize, usize)], syms: &mut FileSymbols) {
+    let n = ctx.code.len();
+    let in_use = |ci: usize| use_spans.iter().any(|&(a, b)| a <= ci && ci <= b);
+    let mut ci = 0usize;
+    while ci < n {
+        let t = ctx.code_token(ci);
+        if t.kind != TokenKind::Ident || ctx.in_test_code(t.line) || in_use(ci) {
+            ci += 1;
+            continue;
+        }
+        // Only path heads: skip segments reached via `::` and names reached
+        // via `.` (fields/methods are not paths).
+        if ci >= 2 && ctx.code_token(ci - 1).is_punct(':') && ctx.code_token(ci - 2).is_punct(':') {
+            ci += 1;
+            continue;
+        }
+        if ci >= 1 && ctx.code_token(ci - 1).is_punct('.') {
+            ci += 1;
+            continue;
+        }
+        let head = t.text.clone();
+        let line = t.line;
+        let mut segments = vec![head.clone()];
+        let mut j = ci;
+        while j + 2 < n
+            && ctx.code_token(j + 1).is_punct(':')
+            && ctx.code_token(j + 2).is_punct(':')
+            && j + 3 < n
+            && ctx.code_token(j + 3).kind == TokenKind::Ident
+        {
+            segments.push(ctx.code_token(j + 3).text.clone());
+            j += 3;
+        }
+        let called = j + 1 < n && ctx.code_token(j + 1).is_punct('(');
+        let (canonical, via_alias) = match syms.aliases.get(&head) {
+            Some(target) => {
+                let mut full = target.clone();
+                full.extend(segments.iter().skip(1).cloned());
+                (full, true)
+            }
+            // A bare unresolvable ident still classifies when it is an
+            // entropy name (e.g. a `thread_rng()` brought in by a glob).
+            None => (segments.clone(), false),
+        };
+        if let Some(cap) = classify_path(&canonical) {
+            syms.cap_uses.push(CapUse {
+                line,
+                cap,
+                what: canonical.join("::"),
+            });
+        }
+        // Only resolved or qualified paths are kept — a bare local ident is
+        // neither a cross-crate reference nor an alias use, and recording
+        // every identifier in the repository would swamp the table.
+        if via_alias || segments.len() > 1 {
+            syms.path_uses.push(PathUse {
+                line,
+                head,
+                canonical,
+                called,
+                via_alias,
+            });
+        }
+        ci = j + 1;
+    }
+}
+
+/// Records every `unsafe` block/fn in non-test code, paired with whether a
+/// `// SAFETY:` comment covers it: on the same line, or anywhere in the
+/// contiguous run of comment lines directly above (SAFETY arguments
+/// routinely wrap across lines).
+fn scan_unsafe(ctx: &FileCtx, syms: &mut FileSymbols) {
+    let mut safety_lines = Vec::new();
+    let mut comment_lines = Vec::new();
+    for t in &ctx.tokens {
+        if t.is_comment() {
+            comment_lines.push(t.line);
+            if t.text.contains("SAFETY:") {
+                safety_lines.push(t.line);
+            }
+        }
+    }
+    for &i in &ctx.code {
+        let t = &ctx.tokens[i];
+        if !t.is_ident("unsafe") || ctx.in_test_code(t.line) {
+            continue;
+        }
+        // Walk up through the comment block touching this line.
+        let mut first_above = t.line;
+        while first_above > 1 && comment_lines.contains(&(first_above - 1)) {
+            first_above -= 1;
+        }
+        let has_safety = safety_lines
+            .iter()
+            .any(|&l| l == t.line || (l >= first_above && l < t.line));
+        syms.unsafe_sites.push(UnsafeSite {
+            line: t.line,
+            has_safety,
+        });
+        syms.cap_uses.push(CapUse {
+            line: t.line,
+            cap: Capability::Unsafe,
+            what: "unsafe".to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms(path: &str, src: &str) -> FileSymbols {
+        build(&FileCtx::new(path.to_string(), src))
+    }
+
+    #[test]
+    fn module_alias_resolves_through_brace_groups() {
+        let s = syms(
+            "crates/core/src/x.rs",
+            "use std::{time as wall};\nfn f() -> u64 { wall::Instant::now().elapsed().as_secs() }\n",
+        );
+        assert_eq!(
+            s.aliases.get("wall"),
+            Some(&vec!["std".into(), "time".into()])
+        );
+        assert!(s
+            .cap_uses
+            .iter()
+            .any(|c| c.cap == Capability::Time && c.line == 2 && c.what.contains("Instant")));
+        assert!(
+            s.cap_uses
+                .iter()
+                .any(|c| c.cap == Capability::Time && c.line == 1),
+            "the declaration itself is a gateway"
+        );
+    }
+
+    #[test]
+    fn renamed_leaf_imports_resolve_at_use_sites() {
+        let s = syms(
+            "crates/core/src/x.rs",
+            "use std::time::Instant as I;\nfn f() -> I { I::now() }\n",
+        );
+        assert_eq!(
+            s.aliases.get("I"),
+            Some(&vec!["std".into(), "time".into(), "Instant".into()])
+        );
+        let lines: Vec<u32> = s
+            .cap_uses
+            .iter()
+            .filter(|c| c.cap == Capability::Time)
+            .map(|c| c.line)
+            .collect();
+        assert!(lines.contains(&2), "use sites classified: {lines:?}");
+    }
+
+    #[test]
+    fn groups_globs_and_self_parse() {
+        let s = syms(
+            "crates/core/src/x.rs",
+            "pub use std::sync::{atomic::{AtomicU64, Ordering as O}, Arc};\nuse std::collections::btree_map::{self, Entry};\nuse rand::*;\n",
+        );
+        assert_eq!(
+            s.aliases.get("AtomicU64"),
+            Some(&vec![
+                "std".into(),
+                "sync".into(),
+                "atomic".into(),
+                "AtomicU64".into()
+            ])
+        );
+        assert_eq!(
+            s.aliases.get("O").map(|p| p.join("::")),
+            Some("std::sync::atomic::Ordering".into())
+        );
+        assert_eq!(
+            s.aliases.get("btree_map").map(|p| p.join("::")),
+            Some("std::collections::btree_map".into())
+        );
+        let glob = s
+            .uses
+            .iter()
+            .find(|u| u.alias == "*")
+            .expect("glob recorded");
+        assert_eq!(glob.path, vec!["rand".to_string()]);
+        assert!(!glob.is_pub);
+        assert!(s.uses.iter().find(|u| u.alias == "Arc").unwrap().is_pub);
+        assert!(s.uses.iter().find(|u| u.alias == "O").unwrap().is_pub);
+        assert!(!s.uses.iter().find(|u| u.alias == "Entry").unwrap().is_pub);
+    }
+
+    #[test]
+    fn fn_items_carry_body_ranges_and_visibility() {
+        let s = syms(
+            "crates/core/src/x.rs",
+            "pub fn outer() {\n    inner();\n}\nfn inner() {}\npub(crate) fn hidden() {}\n",
+        );
+        let outer = s.fns.iter().find(|f| f.name == "outer").unwrap();
+        assert!(outer.is_pub);
+        assert_eq!((outer.line, outer.end_line), (1, 3));
+        assert!(!s.fns.iter().find(|f| f.name == "inner").unwrap().is_pub);
+        assert!(
+            !s.fns.iter().find(|f| f.name == "hidden").unwrap().is_pub,
+            "pub(crate) is not cross-crate visible"
+        );
+    }
+
+    #[test]
+    fn unsafe_sites_pair_with_safety_comments() {
+        let src =
+            "// SAFETY: the index is bounds-checked above\nunsafe { go(i) }\nunsafe { nope() }\n";
+        let s = syms("crates/core/src/x.rs", src);
+        assert_eq!(s.unsafe_sites.len(), 2);
+        assert!(s.unsafe_sites[0].has_safety);
+        assert!(!s.unsafe_sites[1].has_safety);
+    }
+
+    #[test]
+    fn forbid_attribute_detected() {
+        assert!(syms("crates/core/src/lib.rs", "#![forbid(unsafe_code)]\n").has_forbid_unsafe);
+        assert!(!syms("crates/core/src/lib.rs", "#![warn(missing_docs)]\n").has_forbid_unsafe);
+    }
+
+    #[test]
+    fn crate_keys_and_extern_names() {
+        assert_eq!(crate_key("crates/engine/src/lib.rs"), "crates/engine");
+        assert_eq!(crate_key("src/lib.rs"), "src");
+        assert_eq!(crate_key("tests/regressions.rs"), "tests");
+        assert!(extern_names("crates/engine").contains(&"gam_engine".to_string()));
+        assert!(extern_names("crates/a").contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn test_code_is_exempt_from_capability_accounting() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::time::Instant;\n    fn t() { Instant::now(); }\n}\n";
+        let s = syms("crates/core/src/x.rs", src);
+        assert!(s.cap_uses.is_empty(), "{:?}", s.cap_uses);
+    }
+}

@@ -1,0 +1,13 @@
+//! A001: every `Ordering::Relaxed` in the concurrency-audit scope is a
+//! proof obligation — including one reached through an alias, which the
+//! token pattern alone could not see.
+use std::sync::atomic::Ordering as O;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(x: &AtomicU64) -> u64 {
+    x.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn peek(x: &AtomicU64) -> u64 {
+    x.load(O::Relaxed)
+}

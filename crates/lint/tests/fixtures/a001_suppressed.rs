@@ -1,0 +1,12 @@
+//! A001 with the written merge-invariant arguments the lint demands.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(x: &AtomicU64) -> u64 {
+    // gam-lint: allow(A001, reason = "monotonic budget counter: totals are exact under any ordering, nothing is published through it")
+    x.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn peek(x: &AtomicU64) -> u64 {
+    // gam-lint: allow(A001, reason = "lowest-wins skip hint: a stale read only costs extra work, the merge re-derives the answer")
+    x.load(Ordering::Relaxed)
+}

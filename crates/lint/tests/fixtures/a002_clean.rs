@@ -1,0 +1,7 @@
+//! The deterministic alternative: state flows through owned queues, not
+//! shared locks.
+use std::collections::VecDeque;
+
+pub struct Shared {
+    pub inner: VecDeque<u64>,
+}

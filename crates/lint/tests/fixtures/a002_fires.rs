@@ -1,0 +1,7 @@
+//! A002: a lock inside the deterministic core makes the guarded state a
+//! covert schedule input — acquisition order is the scheduler's choice.
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub inner: Mutex<Vec<u64>>,
+}

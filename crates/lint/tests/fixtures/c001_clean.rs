@@ -1,0 +1,5 @@
+//! No ambient-machine capability in sight: pure arithmetic scans clean
+//! under an armed [capabilities] section, with zero grants needed.
+pub fn mix(a: u64, b: u64) -> u64 {
+    a.rotate_left(7) ^ b.wrapping_mul(0x9e37_79b9)
+}

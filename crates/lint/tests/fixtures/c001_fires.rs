@@ -1,0 +1,15 @@
+//! C001: ambient-machine capability sites in a crate granted nothing —
+//! the import counts, the alias-resolved call site counts, and the
+//! entropy read classifies by path rather than by a banned-ident list.
+use std::thread;
+
+pub fn fan_out() -> u64 {
+    let h = thread::spawn(|| 1u64);
+    h.join().unwrap()
+}
+
+pub fn seed() -> u64 {
+    let mut buf = [0u8; 8];
+    getrandom::getrandom(&mut buf).unwrap();
+    u64::from_le_bytes(buf)
+}

@@ -1,0 +1,8 @@
+//! An ungranted crate reaching the clock one hop through the gateway:
+//! importing the re-exported type, naming it, calling the thin wrapper.
+use gam_bench::Clock;
+
+pub fn t0() -> Clock {
+    gam_bench::stamp();
+    Clock::now()
+}

@@ -1,0 +1,19 @@
+//! A granted crate that leaks its grant one hop: the `pub use` hands
+//! importers the clock type itself, and `stamp` is a thin forwarding
+//! wrapper over the read. `measured_run` by contrast is substantial — it
+//! encapsulates the clock behind its own semantics, which is exactly what
+//! the grant on this crate asserts.
+pub use std::time::Instant as Clock;
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn measured_run() -> u64 {
+    let t0 = std::time::Instant::now();
+    let mut acc = 0u64;
+    for i in 0..1000u64 {
+        acc = acc.wrapping_add(i);
+    }
+    acc ^ u64::from(t0.elapsed().subsec_nanos())
+}

@@ -1,0 +1,8 @@
+//! This crate spends its `time` grant but holds a stale `threads` grant:
+//! C003 anchors on the crate's first file so the finding has a place to
+//! live in the report.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,8 @@
+//! The D001 alias hole: v1 caught `HashMap` only on lines where the name
+//! appears literally (the `use` declaration), so every `Map::…` use site
+//! was invisible. The symbol table resolves the rename.
+use std::collections::HashMap as Map;
+
+pub fn fresh() -> Map<u32, u32> {
+    Map::new()
+}

@@ -1,0 +1,19 @@
+//! Near-misses for the D002 alias layer: a module alias that does not
+//! reach the clock, and a local module that happens to be called `time`,
+//! both stay silent — the lint classifies resolved `std`/`core` paths, not
+//! names.
+use std::{mem as wall};
+
+mod time {
+    pub fn origin() -> u64 {
+        0
+    }
+}
+
+pub fn swap_em(a: &mut u64, b: &mut u64) {
+    wall::swap(a, b);
+}
+
+pub fn t0() -> u64 {
+    time::origin()
+}

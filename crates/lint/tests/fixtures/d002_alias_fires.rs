@@ -1,0 +1,14 @@
+//! The D002 evasion the v1 token patterns provably missed: the brace group
+//! breaks the contiguous `std :: time` token run, `wall` is a module alias
+//! the per-line scan could not see through, and `Duration` is not on the
+//! banned-ident list — so v1 saw nothing on any line of this file. The
+//! symbol table resolves the alias and classifies every site.
+use std::{time as wall};
+
+pub fn deadline() -> wall::Duration {
+    wall::Duration::from_millis(5)
+}
+
+pub fn doubled(d: wall::Duration) -> wall::Duration {
+    d + d
+}

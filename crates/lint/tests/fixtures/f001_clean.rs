@@ -1,0 +1,6 @@
+//! The forbid pin every deterministic crate root carries.
+#![forbid(unsafe_code)]
+
+pub fn pure(a: u64) -> u64 {
+    a.wrapping_mul(0x9e37_79b9)
+}

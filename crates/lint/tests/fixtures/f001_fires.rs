@@ -1,0 +1,5 @@
+//! A deterministic crate root missing `#![forbid(unsafe_code)]`: nothing
+//! stops a future unsafe block from smuggling in platform-dependent state.
+pub fn pure(a: u64) -> u64 {
+    a.wrapping_mul(0x9e37_79b9)
+}

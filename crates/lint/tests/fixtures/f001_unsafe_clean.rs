@@ -1,0 +1,7 @@
+//! SAFETY-paired unsafe in a granted crate: the proof obligation is
+//! written where the block is.
+pub fn read_first(v: &[u64]) -> u64 {
+    // SAFETY: callers guarantee `v` is non-empty, so `as_ptr` of the
+    // slice is valid for one aligned read.
+    unsafe { *v.as_ptr() }
+}

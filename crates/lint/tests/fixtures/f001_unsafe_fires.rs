@@ -1,0 +1,5 @@
+//! A crate granted `unsafe` still owes a `// SAFETY:` comment on every
+//! block: the grant licenses the mechanism, not silence about the proof.
+pub fn read_first(v: &[u64]) -> u64 {
+    unsafe { *v.as_ptr() }
+}

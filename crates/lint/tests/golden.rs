@@ -274,6 +274,260 @@ fn p002_covers_the_independence_module() {
     );
 }
 
+/// Parses a fixture config — the capability tests arm the C-lints with a
+/// `[capabilities]` section exactly as the checked-in config does.
+fn parse_config(toml: &str) -> Config {
+    Config::parse(toml).expect("fixture config parses")
+}
+
+#[test]
+fn d001_alias_rename_is_no_longer_invisible() {
+    // v1 caught `HashMap` only where the name appears literally (line 4,
+    // the declaration); the `Map<…>` and `Map::new()` use sites on lines
+    // 6 and 7 spell no banned name and were provably invisible to the
+    // token layer. The symbol table resolves the rename.
+    let cfg = config();
+    let fired = scan_fixture("d001_alias_fires.rs", DET, &cfg);
+    assert_eq!(
+        findings(&fired),
+        vec![("D001", 4), ("D001", 6), ("D001", 7)],
+        "{}",
+        fired.to_text()
+    );
+    assert!(
+        fired.diagnostics[1].message.contains("as `Map`"),
+        "alias findings name the rename: {}",
+        fired.to_text()
+    );
+}
+
+#[test]
+fn d002_brace_group_alias_evasion_fires() {
+    // The evasion v1 provably missed: `use std::{time as wall};` breaks
+    // the contiguous `std :: time` token pattern (the `{` intervenes),
+    // `wall` is a module alias the per-line scan cannot resolve, and
+    // `Duration` is not on the banned-ident list — no v1 pattern matches
+    // any line of this fixture. The alias-resolved layer flags the
+    // declaration and every `wall::…` site.
+    let cfg = config();
+    let fired = scan_fixture("d002_alias_fires.rs", DET, &cfg);
+    assert_eq!(
+        findings(&fired),
+        vec![("D002", 6), ("D002", 8), ("D002", 9), ("D002", 12)],
+        "{}",
+        fired.to_text()
+    );
+    // Near-misses stay silent: a module alias that does not reach the
+    // clock, and a *local* module named `time`.
+    let clean = scan_fixture("d002_alias_clean.rs", DET, &cfg);
+    assert_eq!(findings(&clean), vec![], "{}", clean.to_text());
+}
+
+#[test]
+fn a001_fires_suppresses_and_passes() {
+    let cfg = parse_config(
+        "[concurrency]\n\
+         paths = [\"crates/explore\"]\n",
+    );
+    const CONC: &str = "crates/explore/src/golden.rs";
+    // Line 8 is the literal `Ordering::Relaxed` pattern; line 12 is the
+    // aliased `O::Relaxed`, visible only through the symbol table.
+    let fired = scan_fixture("a001_fires.rs", CONC, &cfg);
+    assert_eq!(
+        findings(&fired),
+        vec![("A001", 8), ("A001", 12)],
+        "{}",
+        fired.to_text()
+    );
+    let suppressed = scan_fixture("a001_suppressed.rs", CONC, &cfg);
+    assert_eq!(findings(&suppressed), vec![], "{}", suppressed.to_text());
+    assert_eq!(
+        suppressed.suppressions.len(),
+        2,
+        "both merge-invariant arguments are honoured"
+    );
+    let clean = scan_fixture("a001_clean.rs", CONC, &cfg);
+    assert_eq!(findings(&clean), vec![], "{}", clean.to_text());
+    // Outside the audit scope the same code is not A001's business.
+    let out_of_scope = scan_fixture("a001_fires.rs", ELSEWHERE, &cfg);
+    assert_eq!(
+        findings(&out_of_scope),
+        vec![],
+        "{}",
+        out_of_scope.to_text()
+    );
+}
+
+#[test]
+fn a002_fires_in_deterministic_scope_with_observer_exemption() {
+    let cfg = parse_config(
+        "[deterministic]\n\
+         paths = [\"crates/core\"]\n\
+         [concurrency]\n\
+         observer = [\"crates/core/src/event.rs\"]\n",
+    );
+    let fired = scan_fixture("a002_fires.rs", "crates/core/src/golden.rs", &cfg);
+    assert_eq!(
+        findings(&fired),
+        vec![("A002", 3), ("A002", 6)],
+        "{}",
+        fired.to_text()
+    );
+    // The same lock on the observer path is sanctioned plumbing.
+    let observer = scan_fixture("a002_fires.rs", "crates/core/src/event.rs", &cfg);
+    assert_eq!(findings(&observer), vec![], "{}", observer.to_text());
+    let clean = scan_fixture("a002_clean.rs", "crates/core/src/golden.rs", &cfg);
+    assert_eq!(findings(&clean), vec![], "{}", clean.to_text());
+    // Out of deterministic scope, locks are fine.
+    let out_of_scope = scan_fixture("a002_fires.rs", ELSEWHERE, &cfg);
+    assert_eq!(
+        findings(&out_of_scope),
+        vec![],
+        "{}",
+        out_of_scope.to_text()
+    );
+}
+
+#[test]
+fn c001_fires_suppresses_and_passes() {
+    // An empty [capabilities] section arms the C-lints with zero grants:
+    // every capability site is a finding. Line 4 is the import, line 7
+    // the alias-resolved `thread::spawn`, line 13 the entropy read that
+    // classifies by path rather than by the v1 ident list.
+    let armed = parse_config("[capabilities]\n");
+    const UNGRANTED: &str = "crates/core/src/golden.rs";
+    let fired = scan_fixture("c001_fires.rs", UNGRANTED, &armed);
+    assert_eq!(
+        findings(&fired),
+        vec![("C001", 4), ("C001", 7), ("C001", 13)],
+        "{}",
+        fired.to_text()
+    );
+    assert!(fired.failed(false), "C001 is an error");
+    let suppressed = scan_fixture("c001_suppressed.rs", UNGRANTED, &armed);
+    assert_eq!(findings(&suppressed), vec![], "{}", suppressed.to_text());
+    assert_eq!(suppressed.suppressions.len(), 2);
+    let clean = scan_fixture("c001_clean.rs", UNGRANTED, &armed);
+    assert_eq!(findings(&clean), vec![], "{}", clean.to_text());
+    // The same sites under a grant are the sanctioned state — and both
+    // grants are spent, so C003 stays silent too.
+    let granted = parse_config(
+        "[capabilities]\n\
+         \"crates/core\" = [\"entropy\", \"threads\"]\n",
+    );
+    let ok = scan_fixture("c001_fires.rs", UNGRANTED, &granted);
+    assert_eq!(findings(&ok), vec![], "{}", ok.to_text());
+    // Without a [capabilities] section the C-lints are unarmed: v1
+    // configs keep v1 semantics.
+    let unarmed = scan_fixture("c001_fires.rs", UNGRANTED, &Config::default());
+    assert_eq!(findings(&unarmed), vec![], "{}", unarmed.to_text());
+}
+
+#[test]
+fn c002_laundering_one_hop_through_a_granted_crate() {
+    let cfg = parse_config(
+        "[capabilities]\n\
+         \"crates/bench\" = [\"time\"]\n",
+    );
+    let gateway = std::fs::read_to_string(format!(
+        "{}/tests/fixtures/c002_gateway.rs",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .expect("gateway fixture exists");
+    let consumer = std::fs::read_to_string(format!(
+        "{}/tests/fixtures/c002_consumer_fires.rs",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .expect("consumer fixture exists");
+    let r = gam_lint::scan_sources(
+        vec![
+            ("crates/bench/src/lib.rs".into(), gateway.clone()),
+            ("crates/core/src/golden.rs".into(), consumer),
+        ],
+        &cfg,
+    );
+    // Import of the re-export (3), naming the re-exported type (5),
+    // calling the thin wrapper (6), calling through the type (7) — all in
+    // the consumer; the granted gateway itself is clean.
+    assert_eq!(
+        findings(&r),
+        vec![("C002", 3), ("C002", 5), ("C002", 6), ("C002", 7)],
+        "{}",
+        r.to_text()
+    );
+    assert!(
+        r.diagnostics.iter().all(|d| d.file.contains("crates/core")),
+        "C002 anchors in the importing crate: {}",
+        r.to_text()
+    );
+    // A consumer of the gateway's *substantial* API is not laundering:
+    // `measured_run` exceeds the thin-wrapper bound and encapsulates the
+    // clock behind its own semantics.
+    let clean_consumer = std::fs::read_to_string(format!(
+        "{}/tests/fixtures/c002_consumer_clean.rs",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .expect("clean consumer fixture exists");
+    let clean = gam_lint::scan_sources(
+        vec![
+            ("crates/bench/src/lib.rs".into(), gateway),
+            ("crates/core/src/golden.rs".into(), clean_consumer),
+        ],
+        &cfg,
+    );
+    assert_eq!(findings(&clean), vec![], "{}", clean.to_text());
+}
+
+#[test]
+fn c003_unused_and_stale_grants_warn() {
+    let cfg = parse_config(
+        "[capabilities]\n\
+         \"crates/bench\" = [\"threads\", \"time\"]\n\
+         \"crates/ghost\" = [\"io\"]\n",
+    );
+    let r = scan_fixture("c003_fires.rs", "crates/bench/src/lib.rs", &cfg);
+    // The unspent `threads` grant anchors on the crate's first file; the
+    // grant to a crate with no scanned files anchors on the config's own
+    // terms (line 0).
+    assert_eq!(
+        findings(&r),
+        vec![("C003", 1), ("C003", 0)],
+        "{}",
+        r.to_text()
+    );
+    assert_eq!(r.diagnostics[1].file, "crates/ghost");
+    assert!(!r.failed(false), "C003 is a warning");
+    assert!(r.failed(true), "…but fails under --deny-warnings");
+}
+
+#[test]
+fn f001_deterministic_roots_must_forbid_unsafe() {
+    let cfg = config();
+    // The fixture scanned *as the crate root* without the attribute fires;
+    // with the attribute it is clean.
+    let fired = scan_fixture("f001_fires.rs", "crates/core/src/lib.rs", &cfg);
+    assert_eq!(findings(&fired), vec![("F001", 1)], "{}", fired.to_text());
+    let clean = scan_fixture("f001_clean.rs", "crates/core/src/lib.rs", &cfg);
+    assert_eq!(findings(&clean), vec![], "{}", clean.to_text());
+    // A scan that does not include the crate's root file cannot judge it:
+    // single-file fixture trees stay quiet.
+    let no_root = scan_fixture("f001_fires.rs", DET, &cfg);
+    assert_eq!(findings(&no_root), vec![], "{}", no_root.to_text());
+}
+
+#[test]
+fn f001_unsafe_grant_requires_safety_comments() {
+    let cfg = parse_config(
+        "[capabilities]\n\
+         \"crates/ffi\" = [\"unsafe\"]\n",
+    );
+    const FFI: &str = "crates/ffi/src/lib.rs";
+    let fired = scan_fixture("f001_unsafe_fires.rs", FFI, &cfg);
+    assert_eq!(findings(&fired), vec![("F001", 4)], "{}", fired.to_text());
+    let clean = scan_fixture("f001_unsafe_clean.rs", FFI, &cfg);
+    assert_eq!(findings(&clean), vec![], "{}", clean.to_text());
+}
+
 #[test]
 fn reasonless_suppression_is_a_diagnostic_and_suppresses_nothing() {
     let cfg = config();

@@ -116,3 +116,50 @@ fn clean_exploration_stats_are_invariant_across_thread_counts() {
         assert_eq!(par.runs, seq.runs, "{threads} threads");
     }
 }
+
+#[test]
+fn relaxed_hint_races_cannot_change_the_answer_across_repeated_runs() {
+    // Regression guard for the A001 proof obligations in `par.rs`/`dfs.rs`:
+    // the `best_item`/`best_seed` skip hints and the shared run budget are
+    // deliberately `Ordering::Relaxed`, and the written arguments claim the
+    // merge output is independent of how those races resolve. Hammer the
+    // adversarial case — every worker finds a violation at once — across
+    // thread counts *and* repetitions, so a genuinely racy hint (one that
+    // could skip a candidate at or below the canonical winner) would show
+    // up as a diverging repro on some iteration.
+    let scenario = starved_scenario();
+    let seq = explore_exhaustive(&scenario, 3, 10_000, DEFAULT_SHRINK_BUDGET);
+    let reference_repro = seq.violations[0].repro.to_text();
+    let reference_hash = seq.violations[0].repro.trace_hash();
+    let swarm_seq = explore_swarm(&scenario, 0..8, DEFAULT_SHRINK_BUDGET);
+    let swarm_repro = swarm_seq.violations[0].repro.to_text();
+
+    for rep in 0..5 {
+        for threads in [1, 2, 4] {
+            let par = explore_exhaustive_par(&scenario, 3, 10_000, &config(threads, 0));
+            assert_eq!(par.outcome, Outcome::ViolationFound);
+            assert_eq!(
+                par.violations[0].repro.to_text(),
+                reference_repro,
+                "rep {rep}, {threads} threads: exhaustive repro diverged"
+            );
+            assert_eq!(
+                par.violations[0].repro.trace_hash(),
+                reference_hash,
+                "rep {rep}, {threads} threads: exhaustive digest diverged"
+            );
+
+            let swarm = explore_swarm_par(&scenario, 0..8, &config(threads, 0));
+            assert_eq!(swarm.outcome, Outcome::ViolationFound);
+            assert_eq!(
+                swarm.violations[0].repro.seed, 0,
+                "rep {rep}, {threads} threads: a stale best_seed hint let a higher seed win"
+            );
+            assert_eq!(
+                swarm.violations[0].repro.to_text(),
+                swarm_repro,
+                "rep {rep}, {threads} threads: swarm repro diverged"
+            );
+        }
+    }
+}
