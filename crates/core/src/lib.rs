@@ -17,6 +17,7 @@ pub mod distributed;
 mod message;
 mod phase;
 mod runtime;
+mod shard;
 pub mod smr;
 pub mod spec;
 pub mod variants;
@@ -28,3 +29,4 @@ pub use runtime::{
     ActionDesc, ActionKind, ActionScheduler, Delivery, Fired, RunReport, Runtime, RuntimeConfig,
     Variant,
 };
+pub use shard::{ShardRun, ShardSpec};

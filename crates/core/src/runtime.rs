@@ -108,7 +108,7 @@ pub struct RuntimeConfig {
 
 /// An enabled action of Algorithm 1, at one process, about one message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Action {
+pub(crate) enum Action {
     /// Help-multicast the next listed message of `L_g` (line 7 + Prop. 1).
     Inject(GroupId, MessageId),
     /// Lines 8–15.
@@ -255,19 +255,19 @@ const ROW_CHUNK: usize = 4;
 pub struct Runtime {
     /// Immutable interned topology/oracle tables, shared across clones —
     /// this is what keeps engine snapshots cheap.
-    tables: Arc<Tables>,
+    pub(crate) tables: Arc<Tables>,
     scheduler: ActionScheduler,
-    now: Time,
+    pub(crate) now: Time,
     // Shared objects, flat.
-    pairs: CowVec<PairState>,
-    units: UnitArena,
+    pub(crate) pairs: CowVec<PairState>,
+    pub(crate) units: UnitArena,
     /// Append-only submission lists `L_g`, shared across clones (mutated
     /// only by [`Runtime::multicast`], never by protocol actions).
-    lists: Arc<Vec<Vec<MessageId>>>,
+    pub(crate) lists: Arc<Vec<Vec<MessageId>>>,
     /// Per message: owning unit, or [`NO_UNIT`] before injection.
-    unit_of: CowVec<u32>,
+    pub(crate) unit_of: CowVec<u32>,
     /// Per group: first `L_g` index not yet claimed by a unit.
-    next_new: Vec<u32>,
+    pub(crate) next_new: Vec<u32>,
     // Message metadata.
     arena: MessageArena,
     /// Submission times, shared like `lists`.
@@ -275,14 +275,14 @@ pub struct Runtime {
     // Per-process state.
     /// Per `(group, member)`: first `L_g` index not locally delivered —
     /// the inject guard's cursor.
-    inject_cursor: CowVec<u32>,
+    pub(crate) inject_cursor: CowVec<u32>,
     /// Per process: units addressed to it that it has not delivered.
-    active: CowVec<Vec<u32>>,
-    delivered: CowVec<Vec<Delivery>>,
-    actions_of: CowVec<u64>,
+    pub(crate) active: CowVec<Vec<u32>>,
+    pub(crate) delivered: CowVec<Vec<Delivery>>,
+    pub(crate) actions_of: CowVec<u64>,
     /// Per process: undelivered messages addressed to it (obligations).
-    owed: CowVec<u64>,
-    rr_cursor: usize,
+    pub(crate) owed: CowVec<u64>,
+    pub(crate) rr_cursor: usize,
     rng: StdRng,
     /// Reusable enabled-action buffer for the allocation-free hot path.
     scratch: Vec<Action>,
@@ -388,7 +388,7 @@ impl Runtime {
     /// Calls `f` for every action currently enabled at `p`. The traversal
     /// order is arbitrary (per-unit); callers needing the deterministic
     /// `Action` order sort afterwards.
-    fn enabled_each(&self, p: ProcessId, f: &mut impl FnMut(Action)) {
+    pub(crate) fn enabled_each(&self, p: ProcessId, f: &mut impl FnMut(Action)) {
         let t = &*self.tables;
         let pi = p.index();
         // Inject: the first locally-undelivered message of L_g, unless it
@@ -652,7 +652,7 @@ impl Runtime {
     }
 
     /// Applies `action` at `p` (the `eff:` blocks).
-    fn apply(&mut self, p: ProcessId, action: Action) {
+    pub(crate) fn apply(&mut self, p: ProcessId, action: Action) {
         let t = Arc::clone(&self.tables);
         self.actions_of[p.index()] += 1;
         match action {
@@ -1036,6 +1036,22 @@ impl Runtime {
             actions_of: self.actions_of.iter().copied().collect(),
             quiescent,
         }
+    }
+
+    /// Batch-occupancy histogram of the units created so far:
+    /// `out[w]` counts units spanning exactly `w` messages (index 0 is
+    /// unused — units are never empty). The bench records this per case to
+    /// show how full the `batch_max` window actually ran.
+    pub fn unit_width_histogram(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for u in 0..self.units.count() {
+            let w = self.units.len[u] as usize;
+            if out.len() <= w {
+                out.resize(w + 1, 0);
+            }
+            out[w] += 1;
+        }
+        out
     }
 
     /// Walks every piece of evolving runtime state as a deterministic `u64`

@@ -1,0 +1,420 @@
+//! Shard-local execution and the deterministic commit merge behind the
+//! parallel sustained-load driver (`gam-engine`'s `run_sustained_par`).
+//!
+//! ## The projection argument
+//!
+//! [`Runtime::run_sustained`] is a round-robin scan: starting from
+//! `rr_cursor = rr0`, visit slot `j` (for `j = 0, 1, 2, …`) inspects
+//! process `(rr0 + j) mod n` and fires its minimum enabled action, if any.
+//! Under a *par-eligible* scenario ([`Runtime::par_eligible`]: crash-free
+//! pattern, non-strict variant, fresh protocol state) every guard is
+//! **time-invariant** — the `γ` timelines have a single entry, no
+//! indicators, liveness is universal — so whether a visit fires, and what
+//! it fires, is a function of protocol state alone, never of the clock.
+//!
+//! By genuineness, an action of `p` about a unit of group `g` touches only
+//! the pairs `{g, h}` for `h ∈ 𝒢(p)`, the unit's cells and `p`'s rows —
+//! all local to `g`'s *shard* (the connected component of the group
+//! intersection graph; see `gam-engine`'s `shard_partition`). Hence the
+//! global visit stream **projects** onto each shard: the visits landing on
+//! a shard's processes form that shard's own round-robin, and their
+//! fire/skip decisions depend only on shard-local state. Each worker
+//! replays exactly this projection with [`Runtime::run_shard_record`] on a
+//! private clone, tagging every fired action with its *global* visit slot
+//! `j = ((p − rr0) mod n) + round·n`.
+//!
+//! Only two pieces of global state cross shards, and both are pure
+//! functions of the fired-slot sets:
+//!
+//! - **the clock** — the sequential driver ticks once per fired action, so
+//!   the action fired at slot `j` executes at time `t0 + rank(j)` where
+//!   `rank` counts fired slots `≤ j` across all shards (crash-free runs
+//!   never idle-tick before quiescence: a full non-firing sweep with
+//!   time-invariant guards is a fixpoint, not a stall);
+//! - **unit-id allocation order** — `Inject` at slot `j` allocates the
+//!   `rank_inject(j)`-th unit id.
+//!
+//! [`Runtime::commit_merge`] re-sequences exactly these two globals: it
+//! merges the per-shard fired-slot streams, rebuilds the unit arena in
+//! global inject order (remapping every recorded unit id), patches
+//! delivery timestamps from slots to ranks, and copies every shard-owned
+//! pair/unit/process column from its owning worker. The result is
+//! byte-identical — the full [`Runtime::fold_state`] walk, not just the
+//! digest — to what the sequential driver would have produced.
+
+use crate::arena::OrderEntry;
+use crate::runtime::{Action, Delivery, Runtime, Variant};
+use gam_groups::GroupId;
+use gam_kernel::{ProcessId, ProcessSet, Time};
+use std::sync::Arc;
+
+/// One shard of the connected-group-family partition, as the parallel
+/// driver schedules it and the merge consumes it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// The shard's groups (one connected component of the intersection
+    /// graph), ascending.
+    pub groups: Vec<GroupId>,
+    /// Every member of the shard's groups, ascending — the processes whose
+    /// per-process rows the shard's actions may touch (an `Inject`
+    /// activates a unit at *all* members, scheduled or not).
+    pub procs: Vec<ProcessId>,
+    /// The scheduled subset (the run's `set` ∩ `procs`), ascending — the
+    /// population of the shard's round-robin projection.
+    pub pids: Vec<ProcessId>,
+}
+
+/// What one shard's recorded run produced, in global-visit-slot terms.
+#[derive(Debug, Clone, Default)]
+pub struct ShardRun {
+    /// Global visit slots of the shard's fired actions, strictly
+    /// ascending.
+    pub fired_slots: Vec<u64>,
+    /// `(slot, unit id in the worker's clone)` per fired `Inject`, in fire
+    /// order — the data the merge needs to re-sequence unit allocation.
+    pub injects: Vec<(u64, u32)>,
+    /// Whether the shard reached a fixpoint with no outstanding delivery
+    /// obligations. `false` means the global run would not have quiesced
+    /// (stuck obligations or budget exhaustion) and the merge must not
+    /// commit.
+    pub quiesced: bool,
+}
+
+impl Runtime {
+    /// True when the sharded parallel driver reproduces
+    /// [`Runtime::run_sustained`] byte for byte from this state: the
+    /// failure pattern is crash-free and the variant non-strict (so every
+    /// guard is time-invariant — constant `γ` timelines, no `1^{g∩h}`
+    /// indicators, universal liveness), and no unit exists yet (so unit-id
+    /// allocation is re-sequenced from zero by the merge). Scenarios
+    /// outside this class fall back to the sequential driver.
+    pub fn par_eligible(&self) -> bool {
+        self.units.count() == 0
+            && self.tables.variant != Variant::Strict
+            && self.tables.crash_at.iter().all(|&c| c == u64::MAX)
+    }
+
+    /// Runs one shard's projection of the sustained round-robin to a local
+    /// fixpoint, recording global visit slots. `take_budget` is consulted
+    /// once per fired action; returning `false` aborts the shard (the
+    /// caller discards the clone, so partial state is fine).
+    ///
+    /// The clock is stamped with the *visit slot* before each fired action
+    /// — an arbitrary placeholder as far as guards are concerned (they are
+    /// time-invariant under [`Runtime::par_eligible`]) that makes every
+    /// recorded delivery timestamp invertible to its slot, which
+    /// [`Runtime::commit_merge`] patches to the true global time.
+    pub fn run_shard_record(
+        &mut self,
+        pids: &[ProcessId],
+        mut take_budget: impl FnMut() -> bool,
+    ) -> ShardRun {
+        let n = self.tables.n;
+        let rr0 = self.rr_cursor;
+        debug_assert!(rr0 < n, "round-robin cursor is always reduced mod n");
+        let mut run = ShardRun::default();
+        if pids.is_empty() {
+            run.quiesced = true;
+            return run;
+        }
+        let set: ProcessSet = pids.iter().copied().collect();
+        // The global scan meets the shard's processes in ascending order of
+        // offset (p − rr0) mod n, cyclically; round r visits p at global
+        // slot offset(p) + r·n.
+        let mut order: Vec<(usize, ProcessId)> = pids
+            .iter()
+            .map(|&p| ((p.index() + n - rr0) % n, p))
+            .collect();
+        order.sort_unstable();
+        let mut round = vec![0u64; order.len()];
+        let mut at = 0usize;
+        let mut idle = 0usize;
+        loop {
+            let (off, p) = order[at];
+            let slot = off as u64 + round[at] * n as u64;
+            round[at] += 1;
+            let mut first: Option<Action> = None;
+            self.enabled_each(p, &mut |a| {
+                if first.is_none_or(|b| a < b) {
+                    first = Some(a);
+                }
+            });
+            if let Some(action) = first {
+                if !take_budget() {
+                    return run; // aborted: quiesced stays false
+                }
+                self.now = Time(slot);
+                let inject = matches!(action, Action::Inject(..));
+                self.apply(p, action);
+                if inject {
+                    run.injects.push((slot, self.units.count() as u32 - 1));
+                }
+                run.fired_slots.push(slot);
+                idle = 0;
+            } else {
+                idle += 1;
+                if idle >= order.len() {
+                    // A full shard round fired nothing: with time-invariant
+                    // guards and no cross-shard interference this is a
+                    // fixpoint forever, exactly when the sequential sweep
+                    // would stop (or idle-tick to budget death).
+                    run.quiesced = !self.has_obligations(set);
+                    return run;
+                }
+            }
+            at = (at + 1) % order.len();
+        }
+    }
+
+    /// Commits the recorded shard runs into `self` (the pre-run state the
+    /// workers were cloned from), re-sequencing the two global objects —
+    /// the clock and unit-id allocation order — so the result is the state
+    /// [`Runtime::run_sustained`] would have reached. Each element of
+    /// `parts` pairs a shard's spec and recording with the worker clone
+    /// that ran it (a clone may appear for several shards).
+    ///
+    /// The caller must have verified every shard quiesced within budget;
+    /// committing a partial recording would desynchronize the clock.
+    pub fn commit_merge(&mut self, parts: &[(&Runtime, &ShardSpec, &ShardRun)]) {
+        let t = Arc::clone(&self.tables);
+        let n = self.tables.n;
+        let t0 = self.now.0;
+        debug_assert_eq!(self.units.count(), 0, "par_eligible gated fresh state");
+        // Global fired order: slots are unique across shards (slot mod n
+        // identifies the process, and a process belongs to one shard).
+        let mut all_slots: Vec<u64> = parts
+            .iter()
+            .flat_map(|(_, _, r)| r.fired_slots.iter().copied())
+            .collect();
+        all_slots.sort_unstable();
+        let rank_of = |slot: u64| -> u64 {
+            all_slots
+                .binary_search(&slot)
+                .expect("delivery timestamp encodes a fired slot") as u64
+                + 1
+        };
+        // Global unit order: injects sorted by slot. Per-part remap tables
+        // from clone-local unit ids to global ids (a part's pair orders
+        // only reference units its own shard injected).
+        let mut all_inj: Vec<(u64, usize, u32)> = parts
+            .iter()
+            .enumerate()
+            .flat_map(|(pi, (_, _, r))| r.injects.iter().map(move |&(s, u)| (s, pi, u)))
+            .collect();
+        all_inj.sort_unstable();
+        let mut remap: Vec<Vec<(u32, u32)>> = vec![Vec::new(); parts.len()];
+        for (pos, &(_, pi, cuid)) in all_inj.iter().enumerate() {
+            remap[pi].push((cuid, pos as u32));
+        }
+        for r in &mut remap {
+            r.sort_unstable();
+        }
+        let lookup = |pi: usize, cuid: u32| -> u32 {
+            let r = &remap[pi];
+            r[r.binary_search_by_key(&cuid, |e| e.0)
+                .expect("order entry references a unit this shard injected")]
+            .1
+        };
+        // Rebuild the unit arena in global allocation order, copying each
+        // unit's cell blocks from the worker that ran it.
+        for &(_, pi, cuid) in &all_inj {
+            let (w, _, _) = parts[pi];
+            let cu = cuid as usize;
+            let g = w.units.group[cu];
+            let gi = g.index();
+            let start = w.units.start[cu];
+            let len = w.units.len[cu];
+            let deg = t.adj[gi].len();
+            let members = t.member_list[gi].len();
+            let fams = t.fams[gi].len();
+            let u = self
+                .units
+                .push(g, start, len, w.units.rep[cu], deg, members, fams);
+            for a in 0..deg {
+                let src = w.units.adj(cuid, a);
+                let dst = self.units.adj(u, a);
+                self.units.slot[dst] = w.units.slot[src];
+                self.units.locked[dst] = w.units.locked[src];
+                self.units.order_idx[dst] = w.units.order_idx[src];
+                self.units.ann_max[dst] = w.units.ann_max[src];
+                self.units.stab[dst] = w.units.stab[src];
+            }
+            for r in 0..members as u16 {
+                let dst = self.units.mem(u, r);
+                self.units.phase[dst] = w.units.phase[w.units.mem(cuid, r)];
+            }
+            for fr in 0..fams as u16 {
+                let dst = self.units.fam(u, fr);
+                self.units.cons[dst] = w.units.cons[w.units.fam(cuid, fr)];
+            }
+            for off in 0..len {
+                let m = self.lists[gi][(start + off) as usize];
+                self.unit_of[m.0 as usize] = u;
+            }
+        }
+        // Shard-owned columns, from each shard's owning worker. Pairs are
+        // owned by the shard of their first group (both groups of a pair
+        // intersect, hence share a component).
+        let mut owner = vec![usize::MAX; t.n_groups];
+        for (pi, (_, spec, _)) in parts.iter().enumerate() {
+            for g in &spec.groups {
+                owner[g.index()] = pi;
+            }
+        }
+        for pid in 0..t.pairs.len() {
+            let pi = owner[t.pairs[pid].0.index()];
+            if pi == usize::MAX {
+                continue; // no scheduled process — the pair never moved
+            }
+            let (w, _, _) = parts[pi];
+            let src = &w.pairs[pid];
+            let dst = &mut self.pairs[pid];
+            dst.max_slot = src.max_slot;
+            dst.cursors.clone_from(&src.cursors);
+            dst.order.clear();
+            dst.order.extend(src.order.iter().map(|e| OrderEntry {
+                slot: e.slot,
+                rep: e.rep,
+                unit: lookup(pi, e.unit),
+            }));
+        }
+        for (pi, &(w, spec, _)) in parts.iter().enumerate() {
+            for g in &spec.groups {
+                let gi = g.index();
+                self.next_new[gi] = w.next_new[gi];
+                for r in 0..t.member_list[gi].len() {
+                    let gm = t.member_base[gi] as usize + r;
+                    self.inject_cursor[gm] = w.inject_cursor[gm];
+                }
+            }
+            for &p in &spec.procs {
+                let i = p.index();
+                self.actions_of[i] = w.actions_of[i];
+                self.owed[i] = w.owed[i];
+                let active = &mut self.active[i];
+                active.clear();
+                active.extend(w.active[i].iter().map(|&u| lookup(pi, u)));
+                let row = &mut self.delivered[i];
+                debug_assert!(row.is_empty(), "par_eligible gated fresh state");
+                row.clear();
+                row.extend(w.delivered[i].iter().map(|d| Delivery {
+                    msg: d.msg,
+                    at: Time(t0 + rank_of(d.at.0)),
+                }));
+            }
+        }
+        // The two global scalars, re-derived from the merged fired order:
+        // one clock tick per fired action, and the cursor one past the
+        // process the last-fired slot visited.
+        self.now = Time(t0 + all_slots.len() as u64);
+        if let Some(&last) = all_slots.last() {
+            let idx = (self.rr_cursor + last as usize % n) % n;
+            self.rr_cursor = (idx + 1) % n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RuntimeConfig;
+    use gam_groups::topology;
+    use gam_kernel::FailurePattern;
+
+    fn fold(rt: &Runtime) -> Vec<u64> {
+        let mut v = Vec::new();
+        rt.fold_state(&mut |w| v.push(w));
+        v
+    }
+
+    /// Manual two-shard split on disjoint groups: record each shard on its
+    /// own clone, merge, and compare the full state walk against the
+    /// sequential driver. This is the single-threaded core of the
+    /// equivalence the engine's parallel driver and the workspace grid
+    /// test check at scale.
+    #[test]
+    fn recorded_shards_merge_to_the_sequential_state() {
+        for batch in [1u32, 3] {
+            let gs = topology::disjoint(3, 3);
+            let mut rt = Runtime::new(
+                &gs,
+                FailurePattern::all_correct(gs.universe()),
+                RuntimeConfig {
+                    batch_max: batch,
+                    ..Default::default()
+                },
+            );
+            for g in 0..3u32 {
+                let src = gs.members(GroupId(g)).min().unwrap();
+                for i in 0..4u64 {
+                    rt.multicast(src, GroupId(g), u64::from(g) * 10 + i);
+                }
+            }
+            assert!(rt.par_eligible());
+            let mut seq = rt.clone();
+            assert!(seq.run_sustained(gs.universe(), 100_000));
+
+            let specs: Vec<ShardSpec> = (0..3u32)
+                .map(|g| {
+                    let procs: Vec<ProcessId> = gs.members(GroupId(g)).iter().collect();
+                    ShardSpec {
+                        groups: vec![GroupId(g)],
+                        procs: procs.clone(),
+                        pids: procs,
+                    }
+                })
+                .collect();
+            let mut clones: Vec<Runtime> = specs.iter().map(|_| rt.clone()).collect();
+            let runs: Vec<ShardRun> = specs
+                .iter()
+                .zip(clones.iter_mut())
+                .map(|(spec, c)| c.run_shard_record(&spec.pids, || true))
+                .collect();
+            assert!(runs.iter().all(|r| r.quiesced));
+            let parts: Vec<(&Runtime, &ShardSpec, &ShardRun)> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, spec)| (&clones[i], spec, &runs[i]))
+                .collect();
+            rt.commit_merge(&parts);
+            assert_eq!(fold(&rt), fold(&seq), "batch={batch}");
+            assert_eq!(rt.rr_cursor, seq.rr_cursor);
+            assert_eq!(rt.next_new, seq.next_new);
+        }
+    }
+
+    #[test]
+    fn par_eligibility_gates_crashes_strict_and_inflight_units() {
+        let gs = topology::fig1();
+        let fresh = Runtime::new(
+            &gs,
+            FailurePattern::all_correct(gs.universe()),
+            RuntimeConfig::default(),
+        );
+        assert!(fresh.par_eligible());
+        let crashy = Runtime::new(
+            &gs,
+            FailurePattern::from_crashes(gs.universe(), [(ProcessId(1), Time(2))]),
+            RuntimeConfig::default(),
+        );
+        assert!(!crashy.par_eligible());
+        let strict = Runtime::new(
+            &gs,
+            FailurePattern::all_correct(gs.universe()),
+            RuntimeConfig {
+                variant: Variant::Strict,
+                ..Default::default()
+            },
+        );
+        assert!(!strict.par_eligible());
+        let mut inflight = Runtime::new(
+            &gs,
+            FailurePattern::all_correct(gs.universe()),
+            RuntimeConfig::default(),
+        );
+        inflight.multicast(ProcessId(0), GroupId(0), 1);
+        assert!(inflight.par_eligible(), "submissions alone stay eligible");
+        inflight.run(3);
+        assert!(!inflight.par_eligible(), "in-flight units are not");
+    }
+}

@@ -39,8 +39,10 @@
 pub mod digest;
 mod event;
 mod exec;
+pub mod independence;
 mod kernel;
 mod runtime;
+mod sustained;
 mod visited;
 
 pub use event::{EventCounts, EventLog, Observer, TraceEvent};
@@ -48,8 +50,10 @@ pub use exec::{
     replay, run_fair, run_recorded, run_with_source, run_with_source_counted, Executor, PrefixTail,
     SnapshotExec,
 };
+pub use independence::{actions_commute, groups_conflict, shard_partition};
 pub use kernel::{KernelExecutor, KernelSnapshot};
 pub use runtime::{RuntimeExecutor, RuntimeSnapshot};
+pub use sustained::{run_sustained_par, shard_specs};
 pub use visited::VisitedSet;
 
 // Parallel explorers move one executor per worker across thread boundaries,

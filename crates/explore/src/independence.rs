@@ -1,48 +1,26 @@
 //! The independence relation behind partial-order reduction.
 //!
+//! The commutation predicate itself lives in `gam-engine`
+//! ([`gam_engine::independence`]) as the single source of truth shared
+//! with the sharded parallel serving driver — the sharder and the POR
+//! engine must never disagree about independence, so there is exactly one
+//! definition. This module re-exports it and adds the explorer-side
+//! applicability gate.
+//!
 //! Two enabled actions *commute* when firing them in either order yields
 //! behaviorally equivalent states — equal delivery sequences, equal spec
 //! verdicts under every deterministic continuation. The DFS engine's sleep
 //! sets ([`crate::explore_exhaustive_dfs_par`]) prune one of each
-//! commuting sibling pair, which
-//! is sound exactly because the pruned interleaving's subtree repeats the
-//! explored one's verdicts.
-//!
-//! ## Why genuineness makes this a local test
-//!
-//! Algorithm 1 is *genuine*: an action of process `p` about a unit of
-//! group `g` reads and writes only state indexed by the pairs `{g, h}`
-//! for `h ∈ 𝒢(p)` (the `per_gp` views of `gam_core::arena`), the unit's
-//! own cells, and `p`'s own per-process rows. Two actions therefore touch
-//! disjoint shared state iff their groups differ and neither process is a
-//! member of the other action's group — a constant-time membership test,
-//! no state inspection needed.
-//!
-//! Three refinements keep the relation sound:
-//!
-//! - **Deliveries never commute.** `Deliver` records the wall-clock
-//!   delivery time (every fired action ticks the shared clock), so
-//!   swapping a delivery across *any* action changes the recorded
-//!   timestamps of the report.
-//! - **Same process never commutes.** Both actions bump `p`'s action
-//!   counter, consume the same per-process cursors, and their relative
-//!   order is the process's local program order.
-//! - **Crash-free patterns only** ([`por_applicable`]): with no crashes
-//!   the detector guards are time-invariant (the `γ` timelines are
-//!   constant, the `1^{g∩h}` indicators never fire, liveness is
-//!   universal), so commuting a pair of actions cannot move a guard
-//!   across a detector transition. Patterns with crashes disable pruning
-//!   entirely rather than approximate.
-//!
-//! Unit-id allocation order (two `Inject`s) is *not* preserved by a swap:
-//! the states differ by a unit-id permutation, so their fingerprints
-//! differ while their behavior (reports carry no unit ids, action
-//! enumeration sorts by representative message) is identical. This is
-//! precisely the redundancy the fingerprint dedup cannot see and POR can.
+//! commuting sibling pair, which is sound exactly because the pruned
+//! interleaving's subtree repeats the explored one's verdicts. See the
+//! engine module docs for why genuineness makes commutation a
+//! constant-time membership test and for the three refinements
+//! (deliveries never commute, same process never commutes, crash-free
+//! patterns only).
 
 use crate::Scenario;
-use gam_core::{ActionDesc, ActionKind};
-use gam_groups::GroupSystem;
+
+pub use gam_engine::independence::actions_commute;
 
 /// True when the sleep-set reduction is sound for `scenario`: the failure
 /// pattern is crash-free, so every detector guard is time-invariant and
@@ -51,73 +29,32 @@ pub fn por_applicable(scenario: &Scenario) -> bool {
     scenario.crashes.is_empty()
 }
 
-/// True when `a` and `b` commute: distinct processes, neither a
-/// delivery, distinct groups, and neither process a member of the other
-/// action's group — which makes their touched pair sets
-/// `{{gₐ, h} : h ∈ 𝒢(pₐ)}` and `{{g_b, h} : h ∈ 𝒢(p_b)}` disjoint.
-pub fn actions_commute(system: &GroupSystem, a: &ActionDesc, b: &ActionDesc) -> bool {
-    a.pid != b.pid
-        && a.kind != ActionKind::Deliver
-        && b.kind != ActionKind::Deliver
-        && a.group != b.group
-        && !(system.members(b.group).contains(a.pid) && system.members(a.group).contains(b.pid))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gam_core::MessageId;
+    use gam_core::{ActionDesc, ActionKind, MessageId};
     use gam_groups::{topology, GroupId};
     use gam_kernel::{ProcessId, Time};
 
-    fn desc(pid: u32, kind: ActionKind, group: u32, rep: u64) -> ActionDesc {
-        ActionDesc {
-            pid: ProcessId(pid),
-            kind,
-            group: GroupId(group),
-            rep: MessageId(rep),
-            aux: 0,
-        }
-    }
-
     #[test]
-    fn disjoint_groups_commute_and_shared_state_does_not() {
-        // fig1: g1 = {p1, p2}, g2 = {p2, p3}, g3 = {p3, p4}, g4 = {p4, p1}.
+    fn reexported_relation_matches_the_engine_definition() {
+        // The hoisted predicate answers through the re-export exactly as
+        // the engine's own symbol (they are the same function item); the
+        // full behavioral suite lives with the definition in gam-engine.
         let gs = topology::fig1();
-        let a = desc(0, ActionKind::Pending, 0, 0); // p1 on g1
-        let far = desc(2, ActionKind::Pending, 2, 2); // p3 on g3
-        assert!(actions_commute(&gs, &a, &far));
-        assert!(actions_commute(&gs, &far, &a), "relation is symmetric");
-        // Same group never commutes.
-        let same_group = desc(1, ActionKind::Commit, 0, 0); // p2 on g1
-        assert!(!actions_commute(&gs, &a, &same_group));
-        // p2 on g1 touches the pair views {g1,g1} and {g1,g2}; p1 on g2
-        // touches {g2,g1} and {g2,g4} — they share {g1,g2}, because each
-        // process is a member of the *other* action's group.
-        let left = desc(1, ActionKind::Pending, 0, 0); // p2 on g1
-        let right = desc(0, ActionKind::Pending, 1, 1); // p1 on g2
-        assert!(
-            !actions_commute(&gs, &left, &right),
-            "mutual membership shares the {{g1,g2}} pair views"
+        let mk = |pid: u32, group: u32| ActionDesc {
+            pid: ProcessId(pid),
+            kind: ActionKind::Pending,
+            group: GroupId(group),
+            rep: MessageId(0),
+            aux: 0,
+        };
+        assert!(actions_commute(&gs, &mk(0, 0), &mk(2, 2)));
+        assert!(!actions_commute(&gs, &mk(1, 0), &mk(0, 1)));
+        assert_eq!(
+            actions_commute(&gs, &mk(0, 0), &mk(2, 2)),
+            gam_engine::actions_commute(&gs, &mk(0, 0), &mk(2, 2)),
         );
-        // One-sided membership is not enough: p1 ∉ g2, so p1-on-g1 and
-        // p2-on-g2 touch disjoint pair views even though p2 ∈ g1.
-        let one_sided = desc(1, ActionKind::Pending, 1, 1); // p2 on g2
-        assert!(actions_commute(&gs, &a, &one_sided));
-    }
-
-    #[test]
-    fn deliveries_and_same_process_never_commute() {
-        let gs = topology::disjoint(2, 2);
-        let a = desc(0, ActionKind::Deliver, 0, 0);
-        let b = desc(2, ActionKind::Pending, 1, 1);
-        assert!(!actions_commute(&gs, &a, &b), "deliver is time-stamped");
-        assert!(!actions_commute(&gs, &b, &a));
-        let c = desc(0, ActionKind::Pending, 0, 0);
-        let d = desc(0, ActionKind::Commit, 0, 0);
-        assert!(!actions_commute(&gs, &c, &d), "same process");
-        let e = desc(2, ActionKind::Commit, 1, 1);
-        assert!(actions_commute(&gs, &c, &e), "disjoint groups commute");
     }
 
     #[test]

@@ -79,10 +79,10 @@ fn graph_nodes_reflect_the_checked_in_grants() {
     // The value CI greps out of the artifact: one grant per
     // (crate, capability) pair in gam-lint.toml.
     assert_eq!(
-        graph.grant_count, 8,
+        graph.grant_count, 10,
         "grants changed — update ci.yml's grep"
     );
-    assert_eq!(graph.granted_crates, 4);
+    assert_eq!(graph.granted_crates, 5);
 
     let node = |key: &str| {
         graph
@@ -98,6 +98,15 @@ fn graph_nodes_reflect_the_checked_in_grants() {
         assert!(
             explore.used.contains_key(cap.as_str()),
             "explore grant `{cap}` must be spent (C003 would fire)"
+        );
+    }
+    let engine = node("crates/engine");
+    assert!(engine.deterministic);
+    assert_eq!(engine.grants, ["sync_atomics", "threads"]);
+    for cap in &engine.grants {
+        assert!(
+            engine.used.contains_key(cap.as_str()),
+            "engine grant `{cap}` must be spent (C003 would fire)"
         );
     }
     let lint = node("crates/lint");

@@ -53,6 +53,18 @@ pub enum Family {
         /// Processes per group.
         size: u32,
     },
+    /// `c` pairwise-disjoint chains of `k` groups each (acyclic): the
+    /// canonical multi-shard workload — `c` connected components for the
+    /// sharded parallel driver, each with real cross-group coordination
+    /// along its chain.
+    Multichain {
+        /// Number of disjoint chains (connected components).
+        c: u32,
+        /// Groups per chain.
+        k: u32,
+        /// Processes per group.
+        size: u32,
+    },
     /// A ring of `k ≥ 3` groups (the minimal cyclic family).
     Ring {
         /// Number of groups.
@@ -112,6 +124,7 @@ impl Family {
             Family::Single { .. } => "single",
             Family::Disjoint { .. } => "disjoint",
             Family::Chain { .. } => "chain",
+            Family::Multichain { .. } => "multichain",
             Family::Ring { .. } => "ring",
             Family::Hub { .. } => "hub",
             Family::Two { .. } => "two",
@@ -127,6 +140,7 @@ impl Family {
         match self {
             Family::Fig1 => Some(false),
             Family::Single { .. } | Family::Disjoint { .. } | Family::Chain { .. } => Some(true),
+            Family::Multichain { .. } => Some(true),
             Family::Two { .. } => Some(true),
             Family::Ring { .. } | Family::RandCyclic { .. } => Some(false),
             Family::Hub { k, .. } => Some(k < 3),
@@ -143,6 +157,7 @@ impl fmt::Display for Family {
             Family::Single { n } => write!(f, "single({n})"),
             Family::Disjoint { k, size } => write!(f, "disjoint({k},{size})"),
             Family::Chain { k, size } => write!(f, "chain({k},{size})"),
+            Family::Multichain { c, k, size } => write!(f, "multichain({c},{k},{size})"),
             Family::Ring { k, size } => write!(f, "ring({k},{size})"),
             Family::Hub { k, size } => write!(f, "hub({k},{size})"),
             Family::Two { size, overlap } => write!(f, "two({size},{overlap})"),
@@ -438,6 +453,16 @@ impl ScnDescriptor {
                     "chain: process count <= 512",
                 )?;
             }
+            Family::Multichain { c, k, size } => {
+                check((1..=64).contains(&c), "multichain: 1 <= c <= 64")?;
+                check((1..=256).contains(&k), "multichain: 1 <= k <= 256")?;
+                check((2..=8).contains(&size), "multichain: 2 <= size <= 8")?;
+                check(c * k <= 256, "multichain: c*k <= 256 groups")?;
+                check(
+                    c * ((k + 1) + k * (size - 2)) <= 512,
+                    "multichain: process count <= 512",
+                )?;
+            }
             Family::Ring { k, size } => {
                 check((3..=16).contains(&k), "ring: 3 <= k <= 16")?;
                 check((2..=8).contains(&size), "ring: 2 <= size <= 8")?;
@@ -587,6 +612,10 @@ fn parse_family(value: &str) -> Result<Family, ScnError> {
         "chain" => {
             let [k, size] = arity("family", name, args)?;
             Ok(Family::Chain { k, size })
+        }
+        "multichain" => {
+            let [c, k, size] = arity("family", name, args)?;
+            Ok(Family::Multichain { c, k, size })
         }
         "ring" => {
             let [k, size] = arity("family", name, args)?;
@@ -828,6 +857,11 @@ mod tests {
             Family::Single { n: 4 },
             Family::Disjoint { k: 3, size: 3 },
             Family::Chain { k: 4, size: 3 },
+            Family::Multichain {
+                c: 3,
+                k: 3,
+                size: 3,
+            },
             Family::Ring { k: 3, size: 2 },
             Family::Hub { k: 3, size: 2 },
             Family::Two {

@@ -44,6 +44,7 @@ impl ScnDescriptor {
             Family::Single { n } => topology::single_group(n as usize),
             Family::Disjoint { k, size } => topology::disjoint(k as usize, size as usize),
             Family::Chain { k, size } => topology::chain(k as usize, size as usize),
+            Family::Multichain { c, k, size } => multichain(c as usize, k as usize, size as usize),
             Family::Ring { k, size } => topology::ring(k as usize, size as usize),
             Family::Hub { k, size } => topology::hub(k as usize, size as usize),
             Family::Two { size, overlap } => {
@@ -99,6 +100,30 @@ impl ScnDescriptor {
 /// two endpoint groups. Every group additionally owns `size - 1` private
 /// processes, so groups are distinct and the intersection graph is exactly
 /// the tree — acyclic by construction (`ℱ = ∅`).
+/// `c` disjoint copies of [`topology::chain`]`(k, size)`, each copy's
+/// process ids offset by a full chain's worth: `c` connected components of
+/// the intersection graph (= `c` shards for the parallel driver), with
+/// genuine cross-group coordination along every chain.
+fn multichain(c: usize, k: usize, size: usize) -> GroupSystem {
+    assert!(c >= 1 && k >= 1 && size >= 2);
+    let per = (k + 1) + k * (size - 2);
+    let universe = ProcessSet::first_n(c * per);
+    let chain = topology::chain(k, size);
+    let mut groups = Vec::with_capacity(c * k);
+    for copy in 0..c {
+        let base = copy * per;
+        for (_, members) in chain.iter() {
+            groups.push(
+                members
+                    .iter()
+                    .map(|p| ProcessId((p.index() + base) as u32))
+                    .collect::<ProcessSet>(),
+            );
+        }
+    }
+    GroupSystem::new(universe, groups)
+}
+
 fn random_acyclic(k: usize, size: usize, seed: u64) -> GroupSystem {
     assert!(k >= 2 && size >= 2);
     let mut rng = StdRng::seed_from_u64(seed);

@@ -63,6 +63,17 @@ pub fn corpus() -> Vec<(&'static str, ScnDescriptor)> {
     };
     vec![
         ("chain", entry(Family::Chain { k: 4, size: 3 }, uniform)),
+        (
+            "multichain",
+            entry(
+                Family::Multichain {
+                    c: 3,
+                    k: 2,
+                    size: 3,
+                },
+                uniform,
+            ),
+        ),
         ("ring", entry(Family::Ring { k: 3, size: 2 }, zipf)),
         ("hub", entry(Family::Hub { k: 4, size: 2 }, hot)),
         (
